@@ -1,0 +1,97 @@
+"""Ablation — the one-token-per-arc design choice, and the Section 7
+FIFO-queued extension.
+
+The SDSP's acknowledgement discipline costs throughput: a data/ack
+round trip limits even DOALL loops to rate 1/2.  Section 7 names the
+FIFO-queued dataflow model (multi-token arcs) as future work; this
+bench sweeps the buffer capacity and reports the steady rate per loop:
+
+* DOALL loops: 1/2 at capacity 1, rate 1 from capacity 2 on (the
+  non-reentrance floor) — buffering pays off exactly once;
+* recurrence loops: the critical cycle is the true dependence, so no
+  amount of buffering moves the rate;
+* conditional loops: the unbalanced control path throttles capacity 1
+  below 1/2; one extra buffer restores balance (the Section 6
+  balancing phenomenon seen from the other side).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core import build_sdsp_pn, optimal_rate
+from repro.loops import KERNELS, parse_loop, translate
+from repro.petrinet import detect_frustum
+from repro.report import render_table
+
+CONDITIONAL = """
+doall cond:
+  A[i] = where(X[i] < 1, Y[i] * 2, Y[i] + X[i])
+"""
+
+CAPACITIES = [1, 2, 3, 4]
+
+
+def workloads():
+    items = [
+        ("loop1 (DOALL)", KERNELS["loop1"].translation().graph),
+        ("loop12 (DOALL)", KERNELS["loop12"].translation().graph),
+        ("loop5 (recurrence)", KERNELS["loop5"].translation().graph),
+        ("loop11 (recurrence)", KERNELS["loop11"].translation().graph),
+        ("conditional", translate(parse_loop(CONDITIONAL)).graph),
+    ]
+    return items
+
+
+def ablation_rows():
+    rows = []
+    for label, graph in workloads():
+        row = [label]
+        for capacity in CAPACITIES:
+            pn = build_sdsp_pn(graph, buffer_capacity=capacity)
+            frustum, _ = detect_frustum(pn.timed, pn.initial)
+            rate = frustum.uniform_rate()
+            assert rate == optimal_rate(pn)
+            row.append(rate)
+        rows.append(row)
+    return rows
+
+
+def test_buffer_ablation_report(benchmark):
+    benchmark.group = "reports"
+    rows = benchmark.pedantic(ablation_rows, rounds=1, iterations=1)
+    text = render_table(
+        ["loop"] + [f"capacity {c}" for c in CAPACITIES],
+        rows,
+        title=(
+            "Steady computation rate vs per-arc buffer capacity "
+            "(capacity 1 = the paper's SDSP; >1 = Section 7 FIFO-queued "
+            "extension)"
+        ),
+    )
+    save_artifact("ablation_buffer_capacity.txt", text)
+
+    by_label = {row[0]: row[1:] for row in rows}
+    # DOALL: 1/2 -> 1, then flat.
+    assert by_label["loop1 (DOALL)"] == [
+        Fraction(1, 2), Fraction(1), Fraction(1), Fraction(1),
+    ]
+    # recurrences: flat.
+    assert len(set(by_label["loop5 (recurrence)"])) == 1
+    # conditional: below 1/2 at capacity 1, then balanced.
+    assert by_label["conditional"][0] < Fraction(1, 2)
+    assert by_label["conditional"][1] == Fraction(1, 2)
+
+
+@pytest.mark.parametrize("capacity", [1, 2, 4])
+def test_detection_speed_vs_capacity(benchmark, capacity):
+    """More tokens mean a bigger state space; the detection cost stays
+    modest."""
+    graph = KERNELS["loop7"].translation().graph
+    pn = build_sdsp_pn(graph, buffer_capacity=capacity)
+    benchmark.group = "ablation: detection vs buffer capacity (loop7)"
+    frustum, _ = benchmark(lambda: detect_frustum(pn.timed, pn.initial))
+    benchmark.extra_info["rate"] = str(frustum.uniform_rate())

@@ -1,0 +1,64 @@
+"""Figure 2 — loop L2 with loop-carried dependence.
+
+Regenerates the dataflow graph (feedback arc E → C marked "carried")
+and the SDSP-PN whose feedback data place starts marked.  Shape facts:
+the critical cycle is C → D → E → (feedback) → C, the optimal rate is
+1/3, and the frustum period is 3.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from benchmarks.conftest import L2_SOURCE, save_artifact
+from repro import compile_loop
+from repro.core import critical_cycles
+from repro.report import (
+    render_behavior_graph,
+    render_dataflow_graph,
+    render_petri_net,
+    render_schedule,
+)
+
+
+def test_figure2_report(benchmark):
+    benchmark.group = "reports"
+    result = benchmark.pedantic(
+        lambda: compile_loop(L2_SOURCE, include_io=False),
+        rounds=1,
+        iterations=1,
+    )
+    report = critical_cycles(result.pn)
+
+    sections = []
+    sections.append("(b/c) static dataflow graph with feedback arc")
+    sections.append(render_dataflow_graph(result.translation.graph))
+    sections.append("\n(d) SDSP-PN (feedback data place initially marked)")
+    sections.append(
+        render_petri_net(result.pn.net, result.pn.initial, result.pn.durations)
+    )
+    sections.append("\ncritical cycle analysis")
+    sections.append(
+        f"  cycle time: {report.cycle_time}  "
+        f"(computation rate {report.computation_rate})"
+    )
+    for cycle in report.critical_cycles:
+        sections.append("  critical: " + " -> ".join(cycle.transitions))
+    sections.append("\nbehavior graph")
+    sections.append(render_behavior_graph(result.behavior, result.frustum))
+    sections.append("\ntime-optimal schedule")
+    sections.append(render_schedule(result.schedule))
+
+    save_artifact("fig2_l2_lcd.txt", "\n".join(sections))
+
+    assert report.cycle_time == 3
+    assert result.schedule.rate == Fraction(1, 3)
+    assert any(
+        set(c.transitions) == {"C", "D", "E"} for c in report.critical_cycles
+    )
+
+
+def test_figure2_compile_speed(benchmark):
+    benchmark.group = "fig2: compile L2 (LCD) end to end"
+    result = benchmark(lambda: compile_loop(L2_SOURCE, include_io=False))
+    assert result.schedule.rate == Fraction(1, 3)

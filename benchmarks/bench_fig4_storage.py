@@ -1,0 +1,94 @@
+"""Figure 4 — minimum storage allocation for L2 (Section 6).
+
+Regenerates the balancing-ratio analysis and the optimised
+acknowledgement structure.  Paper facts reproduced:
+
+* the critical cycle CDEC fixes the computation rate at 1/3;
+* the non-critical cycles ABA and BDB (balancing ratio 1/2) can share
+  storage: the merged cycle ABDA has ratio 1/3 — still rate-preserving;
+* total storage drops (the paper's single merge saves 1/6; our greedy
+  merges every legal chain and saves 1/3) with the optimal rate intact,
+  verified by re-running the cycle-time analysis *and* by simulating
+  the optimised net.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from benchmarks.conftest import L2_SOURCE, save_artifact
+from repro import compile_loop
+from repro.core import (
+    apply_allocation,
+    balancing_ratios,
+    optimize_storage,
+    verify_allocation,
+)
+from repro.petrinet import TimedPetriNet, detect_frustum
+from repro.report import render_petri_net, render_table
+
+
+def test_figure4_report(benchmark):
+    benchmark.group = "reports"
+    pn = benchmark.pedantic(
+        lambda: compile_loop(L2_SOURCE, include_io=False).pn,
+        rounds=1,
+        iterations=1,
+    )
+
+    ratio_rows = [
+        [" -> ".join(cycle), ratio]
+        for cycle, ratio in sorted(
+            balancing_ratios(pn), key=lambda pair: (pair[1], pair[0])
+        )
+    ]
+    allocation = optimize_storage(pn)
+    chain_rows = [
+        [
+            " -> ".join([chain.head] + [a.target for a in chain.arcs]),
+            chain.length,
+            Fraction(1, chain.cycle_nodes),
+        ]
+        for chain in allocation.chains
+    ]
+
+    sections = []
+    sections.append(
+        render_table(
+            ["cycle", "balancing ratio M(C)/|C|"],
+            ratio_rows,
+            title="Balancing ratios of L2's simple cycles",
+        )
+    )
+    sections.append("")
+    sections.append(
+        render_table(
+            ["merged acknowledgement chain", "arcs covered", "cycle ratio"],
+            chain_rows,
+            title="Optimised storage allocation",
+        )
+    )
+    sections.append("")
+    sections.append(
+        f"storage: baseline {allocation.baseline_locations} locations -> "
+        f"optimised {allocation.locations} "
+        f"(saved {allocation.savings}; paper's single merge saved 1/6)"
+    )
+    rate = verify_allocation(pn, allocation)
+    sections.append(f"cycle time after optimisation: {rate} (unchanged)")
+
+    net, marking = apply_allocation(pn, allocation)
+    sections.append("")
+    sections.append(render_petri_net(net, marking, pn.durations))
+    save_artifact("fig4_storage.txt", "\n".join(sections))
+
+    assert allocation.savings >= Fraction(1, 6)
+    frustum, _ = detect_frustum(TimedPetriNet(net, pn.durations), marking)
+    assert frustum.uniform_rate() == Fraction(1, 3)
+
+
+def test_figure4_optimise_speed(benchmark):
+    pn = compile_loop(L2_SOURCE, include_io=False).pn
+    benchmark.group = "fig4: storage optimisation"
+    allocation = benchmark(lambda: optimize_storage(pn))
+    assert allocation.savings > 0

@@ -1,0 +1,96 @@
+"""Section 5's O(n) claim — detection-time scaling on synthetic loop
+families.
+
+The paper proves an O(n⁴) worst-case bound (Section 4) but measures
+O(n) on real loops.  This bench sweeps loop-body size n over two
+families:
+
+* ``chain``: a DOALL dependence chain ``T_k = T_{k-1} + IN``
+  (deep pipeline, no recurrence);
+* ``recurrence``: the same chain closed with a loop-carried arc from
+  the last statement to the first (one long critical cycle).
+
+For each n it reports the detection step count and the steps/n ratio;
+the ratio staying bounded by a small constant while n grows 32× is the
+linear-scaling reproduction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core import build_sdsp_pn
+from repro.loops import parse_loop, translate
+from repro.petrinet import detect_frustum
+from repro.report import render_table
+
+SIZES = [4, 8, 16, 32, 64, 128]
+
+
+def chain_source(n: int, recurrence: bool) -> str:
+    lines = ["do chain:"]
+    first_rhs = "IN[i] + T{last}[i-1]".format(last=n - 1) if recurrence else "IN[i] + 1"
+    lines.append(f"  T0[i] = {first_rhs}")
+    for k in range(1, n):
+        lines.append(f"  T{k}[i] = T{k-1}[i] + IN[i]")
+    return "\n".join(lines)
+
+
+def build(n: int, recurrence: bool):
+    graph = translate(parse_loop(chain_source(n, recurrence))).graph
+    return build_sdsp_pn(graph, include_io=False)
+
+
+def scaling_rows():
+    rows = []
+    for family, recurrence in (("chain", False), ("recurrence", True)):
+        for n in SIZES:
+            pn = build(n, recurrence)
+            frustum, _ = detect_frustum(pn.timed, pn.initial)
+            rows.append(
+                [
+                    family,
+                    pn.size,
+                    frustum.start_time,
+                    frustum.repeat_time,
+                    frustum.length,
+                    Fraction(frustum.repeat_time, pn.size),
+                    pn.size**4,
+                ]
+            )
+    return rows
+
+
+def test_scaling_report(benchmark):
+    benchmark.group = "reports"
+    rows = benchmark.pedantic(scaling_rows, rounds=1, iterations=1)
+    text = render_table(
+        [
+            "family",
+            "n",
+            "start",
+            "repeat",
+            "frustum len",
+            "steps / n",
+            "O(n^4) bound",
+        ],
+        rows,
+        title="Detection-time scaling (paper: O(n) in practice)",
+    )
+    save_artifact("scaling_detection.txt", text)
+
+    # Linear scaling: steps/n bounded by a small constant everywhere.
+    assert all(row[5] <= 4 for row in rows), "detection is not O(n) here"
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+@pytest.mark.parametrize("family", ["chain", "recurrence"])
+def test_detection_scaling_speed(benchmark, n, family):
+    pn = build(n, family == "recurrence")
+    benchmark.group = f"scaling: frustum detection ({family})"
+    frustum, _ = benchmark(lambda: detect_frustum(pn.timed, pn.initial))
+    benchmark.extra_info["n"] = pn.size
+    benchmark.extra_info["repeat_time"] = frustum.repeat_time

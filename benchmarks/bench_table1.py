@@ -1,0 +1,91 @@
+"""Table 1 — experimental results for the SDSP-PN model (Section 5.1).
+
+Columns mirror the paper: size of loop body (n), start time, repeat
+time, length of frustum, transition count, computation rate, and the
+observed bound BD (= 2n, within which the paper found every repeat).
+The shape claims this reproduces:
+
+* the repeated instantaneous state appears within 2n time steps
+  (O(n) detection) for every Livermore loop;
+* DOALL loops run at the acknowledged-static-dataflow rate 1/2;
+* LCD loops run at their recurrence-limited (still time-optimal) rate.
+
+The timed benchmark measures the frustum detection itself — the
+compile-time cost the paper argues is practical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core import measure_detection, optimal_rate
+from repro.petrinet import detect_frustum
+from repro.report import render_table
+
+HEADERS = [
+    "loop",
+    "LCD",
+    "size n",
+    "start time",
+    "repeat time",
+    "frustum len",
+    "trans count",
+    "comp rate",
+    "BD (2n)",
+    "within BD",
+]
+
+
+def table1_rows(kernel_nets):
+    rows = []
+    for key, (kernel, pn) in kernel_nets.items():
+        measurement, frustum = measure_detection(pn)
+        rate = frustum.uniform_rate()
+        assert rate == optimal_rate(pn), f"{key}: schedule not time-optimal"
+        rows.append(
+            [
+                key,
+                kernel.has_lcd,
+                measurement.n,
+                measurement.start_time,
+                measurement.repeat_time,
+                measurement.frustum_length,
+                frustum.transition_count(),
+                rate,
+                measurement.observed_bound,
+                measurement.within_observed_bound,
+            ]
+        )
+    return rows
+
+
+def test_table1_report(benchmark, kernel_nets):
+    benchmark.group = "reports"
+    rows = benchmark.pedantic(
+        lambda: table1_rows(kernel_nets), rounds=1, iterations=1
+    )
+    text = render_table(
+        HEADERS, rows, title="Table 1: SDSP-PN model (Livermore loops)"
+    )
+    save_artifact("table1_sdsp_pn.txt", text)
+    # The headline claims, asserted:
+    from fractions import Fraction
+
+    assert all(row[-1] for row in rows), "a loop exceeded the 2n bound"
+    doall_rates = {row[7] for row in rows if not row[1]}
+    assert doall_rates == {Fraction(1, 2)}
+
+
+@pytest.mark.parametrize(
+    "key", ["loop1", "loop7", "loop12", "loop3", "loop5", "loop9", "loop9lcd"]
+)
+def test_detect_frustum_speed(benchmark, kernel_nets, key):
+    """Compile-time cost of frustum detection (Table 1 workload)."""
+    _, pn = kernel_nets[key]
+    benchmark.group = "table1: frustum detection (SDSP-PN)"
+    frustum, _ = benchmark(
+        lambda: detect_frustum(pn.timed, pn.initial)
+    )
+    benchmark.extra_info["n"] = pn.size
+    benchmark.extra_info["repeat_time"] = frustum.repeat_time

@@ -1,0 +1,108 @@
+"""Table 2 — the SDSP-SCP-PN model with an eight-stage single clean
+pipeline (Section 5.2).
+
+Adds the *processor usage* column to the Table 1 measurements.  Shape
+claims reproduced:
+
+* a frustum still exists under the FIFO choice policy (Lemma 5.2.1)
+  and is found within the calibrated observed bound;
+* no instruction's rate exceeds 1/n (Theorem 5.2.2);
+* loops with n >= 2l saturate the pipeline (usage = 1); shorter loops
+  are limited by the data/acknowledgement pipeline round trip.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks.conftest import PIPELINE_STAGES, save_artifact
+from repro.core import (
+    measure_detection,
+    pipeline_utilization,
+    scp_rate_upper_bound,
+)
+from repro.petrinet import detect_frustum
+from repro.report import render_table
+
+HEADERS = [
+    "loop",
+    "LCD",
+    "size n",
+    "start time",
+    "repeat time",
+    "frustum len",
+    "comp rate",
+    "1/n bound",
+    "proc usage",
+    "BD",
+    "within BD",
+]
+
+
+def table2_rows(kernel_scps):
+    rows = []
+    for key, (kernel, pn, scp, policy) in kernel_scps.items():
+        measurement, frustum = measure_detection(pn, policy=policy, scp=scp)
+        rate = frustum.computation_rate(scp.sdsp_transitions[0])
+        bound = scp_rate_upper_bound(scp)
+        usage = pipeline_utilization(scp, frustum)
+        assert rate <= bound, f"{key}: Theorem 5.2.2 violated"
+        rows.append(
+            [
+                key,
+                kernel.has_lcd,
+                scp.size,
+                measurement.start_time,
+                measurement.repeat_time,
+                measurement.frustum_length,
+                rate,
+                bound,
+                usage,
+                measurement.observed_bound,
+                measurement.within_observed_bound,
+            ]
+        )
+    return rows
+
+
+def test_table2_report(benchmark, kernel_scps):
+    benchmark.group = "reports"
+    rows = benchmark.pedantic(
+        lambda: table2_rows(kernel_scps), rounds=1, iterations=1
+    )
+    text = render_table(
+        HEADERS,
+        rows,
+        title=(
+            f"Table 2: SDSP-SCP-PN model, single clean pipeline with "
+            f"{PIPELINE_STAGES} stages"
+        ),
+    )
+    save_artifact("table2_sdsp_scp_pn.txt", text)
+    assert all(row[-1] for row in rows)
+    # loops long enough to cover the pipeline round trip hit 100% usage
+    saturated = [row for row in rows if row[2] >= 2 * PIPELINE_STAGES]
+    assert saturated and all(row[8] == 1 for row in saturated)
+
+
+@pytest.mark.parametrize(
+    "key", ["loop1", "loop7", "loop12", "loop3", "loop5", "loop9", "loop9lcd"]
+)
+def test_scp_detect_frustum_speed(benchmark, kernel_scps, key):
+    """Compile-time cost of frustum detection on the resource model."""
+    _, _, scp, _ = kernel_scps[key]
+    from repro.machine import FifoRunPlacePolicy
+
+    benchmark.group = "table2: frustum detection (SDSP-SCP-PN, l=8)"
+
+    def run():
+        policy = FifoRunPlacePolicy(
+            scp.net, scp.run_place, scp.priority_order()
+        )
+        return detect_frustum(scp.timed, scp.initial, policy)
+
+    frustum, _ = benchmark(run)
+    benchmark.extra_info["n"] = scp.size
+    benchmark.extra_info["repeat_time"] = frustum.repeat_time

@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  The
+rendered artifact is (a) printed to stdout and (b) written under
+``benchmarks/results/`` so ``pytest benchmarks/ --benchmark-only`` can
+run with output capture on and still leave reviewable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import build_sdsp_pn, build_sdsp_scp_pn
+from repro.loops import paper_kernel_set
+from repro.machine import FifoRunPlacePolicy
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+L1_SOURCE = """
+doall L1:
+    A[i] = X[i] + 5
+    B[i] = Y[i] + A[i]
+    C[i] = A[i] + Z[i]
+    D[i] = B[i] + C[i]
+    E[i] = W[i] + D[i]
+"""
+
+L2_SOURCE = """
+do L2:
+    A[i] = X[i] + 5
+    B[i] = Y[i] + A[i]
+    C[i] = A[i] + E[i-1]
+    D[i] = B[i] + C[i]
+    E[i] = W[i] + D[i]
+"""
+
+PIPELINE_STAGES = 8  # Table 2: "Single Clean Pipeline with Eight Stages"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print and persist one regenerated table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def kernel_nets():
+    """SDSP-PNs (A-code mode) for the paper's kernel set, keyed by
+    kernel key."""
+    return {k.key: (k, build_sdsp_pn(k.translation().graph))
+            for k in paper_kernel_set()}
+
+
+@pytest.fixture(scope="session")
+def kernel_scps(kernel_nets):
+    """SDSP-SCP-PNs (l = 8) with their FIFO policies."""
+    result = {}
+    for key, (kernel, pn) in kernel_nets.items():
+        scp = build_sdsp_scp_pn(pn, stages=PIPELINE_STAGES)
+        policy = FifoRunPlacePolicy(
+            scp.net, scp.run_place, scp.priority_order()
+        )
+        result[key] = (kernel, pn, scp, policy)
+    return result

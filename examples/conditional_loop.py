@@ -1,0 +1,68 @@
+"""Conditional loop bodies: well-formed switch/merge subgraphs
+(Section 3.2).
+
+Run with::
+
+    python examples/conditional_loop.py
+
+The paper's loop class allows conditional constructs "as long as the
+overall structure of the loop remains a well-formed dataflow graph":
+switch and merge actors route operands into the selected branch and
+circulate dummy tokens through the unselected one, so structurally
+they fire like regular nodes and the SDSP-PN machinery applies
+unchanged.  This example compiles an absolute-difference loop, shows
+the switch/merge structure, derives and semantically validates the
+schedule, and demonstrates the buffering cure for the unbalanced
+control path.
+"""
+
+import numpy as np
+
+from repro import compile_loop
+from repro.core import build_sdsp_pn, execute_schedule
+from repro.loops import parse_loop, reference_execute
+from repro.petrinet import detect_frustum
+from repro.report import render_dataflow_graph, render_schedule
+
+SOURCE = """
+doall absdiff:
+    A[i] = where(X[i] < Y[i], Y[i] - X[i], X[i] - Y[i])
+"""
+
+
+def main() -> None:
+    result = compile_loop(SOURCE)
+
+    print("=== dataflow graph: switches gate operands, merge joins ===")
+    print(render_dataflow_graph(result.translation.graph))
+
+    print("\n=== derived schedule ===")
+    print(render_schedule(result.schedule))
+    print(f"net is a marked graph: {result.pn.net.is_marked_graph()}"
+          f" (conditionals stay inside the SDSP class)")
+
+    rng = np.random.default_rng(1)
+    arrays = {
+        "X": list(rng.uniform(0, 2, 10)),
+        "Y": list(rng.uniform(0, 2, 10)),
+    }
+    outputs = execute_schedule(
+        result.translation.graph, result.schedule, arrays, 10, {}
+    )
+    reference = reference_execute(parse_loop(SOURCE), arrays, iterations=10)
+    ok = np.allclose(outputs["A"], reference["A"])
+    print(f"\nscheduled execution matches |x - y| reference: {ok}")
+
+    print("\n=== the unbalanced control path, and its buffering cure ===")
+    for capacity in (1, 2):
+        pn = build_sdsp_pn(result.translation.graph, buffer_capacity=capacity)
+        frustum, _ = detect_frustum(pn.timed, pn.initial)
+        print(f"  buffer capacity {capacity}: steady rate "
+              f"{frustum.uniform_rate()}")
+    print("  (the condition reaches the merge in one hop but the data "
+        "takes two,\n   so one-token arcs stall; a second buffer slot "
+        "restores rate 1/2)")
+
+
+if __name__ == "__main__":
+    main()

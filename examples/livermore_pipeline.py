@@ -1,0 +1,92 @@
+"""Schedule every Livermore kernel of the paper and check semantics.
+
+Run with::
+
+    python examples/livermore_pipeline.py
+
+For each kernel this compiles the loop, derives the time-optimal
+schedule, *executes* the schedule with real input data, and compares
+the results against a direct sequential evaluation of the loop — the
+full compile-and-run story of the paper's Section 5 experiments, with
+the semantic check the paper's testbed performed implicitly.
+"""
+
+import numpy as np
+
+from repro.core import (
+    build_sdsp_pn,
+    derive_schedule,
+    execute_schedule,
+    optimal_rate,
+)
+from repro.loops import paper_kernel_set, reference_execute
+from repro.petrinet import detect_frustum
+from repro.report import render_table
+
+ITERATIONS = 10
+
+
+def main() -> None:
+    rows = []
+    for kernel in paper_kernel_set():
+        translation = kernel.translation()
+        pn = build_sdsp_pn(translation.graph)
+        frustum, behavior = detect_frustum(pn.timed, pn.initial)
+        schedule = derive_schedule(frustum, behavior)
+
+        arrays = {
+            name: list(values)
+            for name, values in kernel.make_inputs(ITERATIONS).items()
+        }
+        outputs = execute_schedule(
+            translation.graph,
+            schedule,
+            arrays,
+            ITERATIONS,
+            translation.initial_values_for(kernel.boundary_values()),
+        )
+        reference = reference_execute(
+            kernel.loop(),
+            arrays,
+            kernel.scalar_bindings(),
+            ITERATIONS,
+            kernel.boundary_values(),
+        )
+        ok = all(
+            np.allclose(outputs[name], stream)
+            for name, stream in reference.items()
+        )
+        rows.append(
+            [
+                kernel.key,
+                kernel.title,
+                pn.size,
+                optimal_rate(pn),
+                schedule.initiation_interval,
+                frustum.repeat_time,
+                "ok" if ok else "MISMATCH",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "kernel",
+                "description",
+                "n",
+                "rate",
+                "II",
+                "detected at",
+                "semantics",
+            ],
+            rows,
+            title=(
+                f"Livermore kernels: schedule + semantic check over "
+                f"{ITERATIONS} iterations"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

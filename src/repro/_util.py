@@ -1,0 +1,75 @@
+"""Small shared helpers used across the :mod:`repro` subpackages."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def fresh_name(base: str, taken: Iterable[str]) -> str:
+    """Return ``base`` if unused, else ``base_2``, ``base_3``, ... .
+
+    ``taken`` is any iterable of existing names; it is materialised into a
+    set, so generators are fine.
+    """
+    taken_set = set(taken)
+    if base not in taken_set:
+        return base
+    index = 2
+    while f"{base}_{index}" in taken_set:
+        index += 1
+    return f"{base}_{index}"
+
+
+def snap_to_fraction(value: float, max_denominator: int) -> Fraction:
+    """Snap a floating-point ratio to the nearest fraction with a bounded
+    denominator.
+
+    Cycle times of timed marked graphs are rationals ``omega / tokens``
+    whose denominator never exceeds the total token count of the net, so
+    numerical results (from binary search or LP solvers) can be recovered
+    exactly by rounding to the nearest such fraction.
+    """
+    if max_denominator < 1:
+        raise ValueError("max_denominator must be >= 1")
+    return Fraction(value).limit_denominator(max_denominator)
+
+
+def stable_topological_order(
+    nodes: Sequence[str], edges: Iterable[Tuple[str, str]]
+) -> List[str]:
+    """Topologically sort ``nodes`` respecting ``edges`` (u before v).
+
+    Ties are broken by the original order of ``nodes``, which makes the
+    result deterministic — important for reproducible simulation traces
+    and schedule listings.  Raises :class:`ValueError` on a cycle.
+    """
+    position = {name: index for index, name in enumerate(nodes)}
+    successors: Dict[str, List[str]] = {name: [] for name in nodes}
+    in_degree: Dict[str, int] = {name: 0 for name in nodes}
+    for source, target in edges:
+        successors[source].append(target)
+        in_degree[target] += 1
+
+    import heapq
+
+    ready = [(position[name], name) for name in nodes if in_degree[name] == 0]
+    heapq.heapify(ready)
+    order: List[str] = []
+    while ready:
+        _, name = heapq.heappop(ready)
+        order.append(name)
+        for succ in successors[name]:
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                heapq.heappush(ready, (position[succ], succ))
+    if len(order) != len(nodes):
+        raise ValueError("graph contains a cycle; no topological order exists")
+    return order
+
+
+def format_fraction(value: Fraction) -> str:
+    """Render a fraction compactly: integers without a denominator."""
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"

@@ -1,0 +1,19 @@
+"""Baseline schedulers the paper is compared against: Aiken–Nicolau
+greedy pattern scheduling, classic list scheduling, and iterative
+modulo scheduling, all over a shared dependence-graph abstraction."""
+
+from .depgraph import DepEdge, DependenceGraph
+from .aiken_nicolau import AikenNicolauPattern, aiken_nicolau_schedule
+from .list_schedule import ListSchedule, list_schedule
+from .modulo import ModuloSchedule, modulo_schedule
+
+__all__ = [
+    "DepEdge",
+    "DependenceGraph",
+    "AikenNicolauPattern",
+    "aiken_nicolau_schedule",
+    "ListSchedule",
+    "list_schedule",
+    "ModuloSchedule",
+    "modulo_schedule",
+]

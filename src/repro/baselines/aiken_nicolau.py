@@ -1,0 +1,179 @@
+"""The Aiken–Nicolau "optimal loop parallelization" baseline [1, 2].
+
+This is the comparison point of the paper's Section 4: Aiken and
+Nicolau schedule the loop greedily — every operation of every
+(virtually unrolled) iteration as early as its data dependences allow,
+on a machine with unbounded parallelism — and observe that the
+schedule eventually becomes periodic: ``start(v, i + K) = start(v, i)
++ P`` for all operations.  Their bound for finding the pattern is
+``O(n²)`` iterations; the paper's contribution is a justified
+``O(n³)``/``O(n²)`` bound for its Petri-net analogue.
+
+Greedy start times satisfy the longest-path recurrence::
+
+    start(v, i) = max(0, max over edges (u → v, d):
+                          start(u, i − d) + latency(u))
+
+Note what this model *lacks* compared with the SDSP-PN: the
+acknowledgement (one-token-per-arc storage) discipline.  For a DOALL
+loop every iteration starts at time 0 — the pattern has period 0 and
+unbounded rate — whereas the SDSP-PN throttles to rate 1/2 with finite
+storage.  The benchmark harness reports both numbers side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+from .depgraph import DependenceGraph
+
+__all__ = ["AikenNicolauPattern", "aiken_nicolau_schedule"]
+
+
+@dataclass
+class AikenNicolauPattern:
+    """The detected periodic pattern.
+
+    Each node's start times eventually grow linearly:
+    ``start(v, i + K) = start(v, i) + slope(v)`` for ``i >=
+    first_iteration``.  Nodes unconstrained by any recurrence (array
+    reads on an unbounded machine) have slope 0 — all their iterations
+    issue simultaneously; nodes downstream of a recurrence advance at
+    that recurrence's pace.  ``period`` is the largest slope — the pace
+    of the slowest chain, which governs loop completion — and ``rate``
+    is None when it is 0 (a DOALL loop: unbounded concurrency).
+    """
+
+    first_iteration: int
+    iterations_per_period: int
+    period: int
+    slopes: Dict[str, int]
+    start_times: Dict[str, List[int]]
+    iterations_computed: int
+
+    @property
+    def rate(self) -> Optional[Fraction]:
+        if self.period == 0:
+            return None
+        return Fraction(self.iterations_per_period, self.period)
+
+    def start_of(self, node: str, iteration: int) -> int:
+        """Start time of any iteration, extending the pattern."""
+        series = self.start_times[node]
+        if iteration < len(series):
+            return series[iteration]
+        k = self.iterations_per_period
+        base = self.first_iteration
+        m = (iteration - base) // k
+        j = base + (iteration - base) % k
+        return series[j] + m * self.slopes[node]
+
+
+def aiken_nicolau_schedule(
+    graph: DependenceGraph,
+    max_iterations: Optional[int] = None,
+) -> AikenNicolauPattern:
+    """Greedily schedule unrolled iterations and detect the pattern.
+
+    Pattern detection scans candidate periods ``K = 1 .. total tokens``
+    and accepts the first window where two consecutive ``K``-iteration
+    windows shift uniformly by the same amount for every node —
+    guaranteed to appear within O(n³) iterations by the paper's
+    Theorem 4.1.1 (our budget is far smaller in practice; the Livermore
+    loops stabilise within a few iterations).
+    """
+    nodes = graph.nodes
+    if not nodes:
+        raise AnalysisError("empty dependence graph")
+    if max_iterations is None:
+        max_iterations = max(64, 4 * graph.size**2)
+    max_distance = max((e.distance for e in graph.edges), default=0)
+    max_period_iterations = max(
+        1, sum(e.distance for e in graph.edges)
+    )
+
+    start: Dict[str, List[int]] = {v: [] for v in nodes}
+    # Evaluation in dependence order per iteration: zero-distance edges
+    # form a DAG (validated upstream), so iterate in its topological
+    # order.
+    import networkx as nx
+
+    zero_graph = nx.DiGraph()
+    zero_graph.add_nodes_from(nodes)
+    zero_graph.add_edges_from(
+        (e.source, e.target) for e in graph.edges if e.distance == 0
+    )
+    try:
+        order = list(nx.lexicographical_topological_sort(zero_graph))
+    except nx.NetworkXUnfeasible:
+        raise AnalysisError(
+            "zero-distance dependence cycle; not a valid loop body"
+        ) from None
+
+    for iteration in range(max_iterations):
+        for node in order:
+            earliest = 0
+            for edge in graph.predecessors(node):
+                source_iteration = iteration - edge.distance
+                if source_iteration < 0:
+                    continue
+                earliest = max(
+                    earliest,
+                    start[edge.source][source_iteration]
+                    + graph.latencies[edge.source],
+                )
+            start[node].append(earliest)
+
+        detected = _detect_pattern(
+            start, iteration + 1, max_period_iterations
+        )
+        if detected is not None:
+            first, k, slopes = detected
+            return AikenNicolauPattern(
+                first_iteration=first,
+                iterations_per_period=k,
+                period=max(slopes.values()),
+                slopes=slopes,
+                start_times=start,
+                iterations_computed=iteration + 1,
+            )
+    raise AnalysisError(
+        f"no periodic pattern within {max_iterations} iterations"
+    )
+
+
+def _detect_pattern(
+    start: Dict[str, List[int]],
+    iterations: int,
+    max_k: int,
+) -> Optional[Tuple[int, int, Dict[str, int]]]:
+    """Look for ``start(v, i + k) − start(v, i)`` constant over a full
+    window of ``k`` iterations, per node (different nodes may advance
+    at different paces; see the dataclass docstring)."""
+    for k in range(1, max_k + 1):
+        # Two full windows of deltas must agree, so a node still in its
+        # transient (whose first delta happens to look periodic) cannot
+        # be accepted on a single sample.
+        if iterations < 3 * k + 1:
+            continue
+        first = iterations - 3 * k - 1
+        slopes: Dict[str, int] = {}
+        consistent = True
+        for node, series in start.items():
+            node_slope: Optional[int] = None
+            for i in range(first, first + 2 * k):
+                delta = series[i + k] - series[i]
+                if node_slope is None:
+                    node_slope = delta
+                elif delta != node_slope:
+                    consistent = False
+                    break
+            if not consistent:
+                break
+            slopes[node] = node_slope if node_slope is not None else 0
+        if consistent and slopes:
+            return first, k, slopes
+    return None

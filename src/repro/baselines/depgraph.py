@@ -1,0 +1,154 @@
+"""Dependence-graph abstraction shared by the baseline schedulers.
+
+The baselines (Aiken–Nicolau, list scheduling, modulo scheduling) work
+on classic dependence graphs: nodes with latencies and flow edges with
+iteration distances.  This is deliberately *not* the SDSP-PN — the
+acknowledgement arcs are the paper's storage discipline, not program
+dependences — so comparisons isolate what the Petri-net model adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..core.sdsp_pn import SdspPetriNet
+from ..errors import AnalysisError
+
+__all__ = ["DepEdge", "DependenceGraph"]
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A flow dependence: ``target``'s iteration ``i`` needs
+    ``source``'s iteration ``i − distance``."""
+
+    source: str
+    target: str
+    distance: int
+
+
+class DependenceGraph:
+    """Nodes with latencies plus distance-annotated flow edges."""
+
+    def __init__(
+        self,
+        latencies: Mapping[str, int],
+        edges: Sequence[DepEdge],
+    ) -> None:
+        self.latencies: Dict[str, int] = dict(latencies)
+        for edge in edges:
+            if edge.source not in self.latencies:
+                raise AnalysisError(f"edge source {edge.source!r} unknown")
+            if edge.target not in self.latencies:
+                raise AnalysisError(f"edge target {edge.target!r} unknown")
+            if edge.distance < 0:
+                raise AnalysisError("dependence distance cannot be negative")
+        self.edges: List[DepEdge] = list(edges)
+
+    @classmethod
+    def from_sdsp_pn(
+        cls,
+        pn: SdspPetriNet,
+        latency: Optional[int] = None,
+    ) -> "DependenceGraph":
+        """Extract the dependence graph underlying an SDSP-PN: its data
+        arcs (distances = initial tokens), restricted to the net's
+        instruction transitions.  ``latency`` overrides the per-node
+        latency uniformly (e.g. the SCP's ``l``)."""
+        kept = set(pn.net.transition_names)
+        latencies = {
+            name: (latency if latency is not None else pn.durations[name])
+            for name in pn.net.transition_names
+        }
+        edges = [
+            DepEdge(arc.source, arc.target, arc.initial_tokens)
+            for arc in pn.sdsp.all_data_arcs
+            if arc.source in kept and arc.target in kept
+        ]
+        return cls(latencies, edges)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(self.latencies)
+
+    @property
+    def size(self) -> int:
+        return len(self.latencies)
+
+    def predecessors(self, node: str) -> List[DepEdge]:
+        return [e for e in self.edges if e.target == node]
+
+    def successors(self, node: str) -> List[DepEdge]:
+        return [e for e in self.edges if e.source == node]
+
+    # ------------------------------------------------------------------
+    # Classical analyses
+    # ------------------------------------------------------------------
+    def recurrence_mii(self) -> Fraction:
+        """RecMII: the maximum over dependence cycles of (total latency)
+        / (total distance) — identical in spirit to the SDSP-PN's
+        critical cycles, but over *data* arcs only.  Zero when the
+        graph is acyclic (DOALL)."""
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(self.nodes)
+        for edge in self.edges:
+            graph.add_edge(edge.source, edge.target, distance=edge.distance)
+        best = Fraction(0)
+        simple = nx.DiGraph(graph)
+        for cycle in nx.simple_cycles(simple):
+            size = len(cycle)
+            # Enumerate parallel-edge choices along the node cycle.
+            hop_options: List[List[int]] = []
+            for i in range(size):
+                u, v = cycle[i], cycle[(i + 1) % size]
+                hop_options.append(
+                    [data["distance"] for data in graph[u][v].values()]
+                )
+            latency_total = sum(self.latencies[node] for node in cycle)
+            combos: List[List[int]] = [[]]
+            for options in hop_options:
+                combos = [c + [o] for c in combos for o in options]
+            for combo in combos:
+                distance_total = sum(combo)
+                if distance_total == 0:
+                    raise AnalysisError(
+                        "zero-distance dependence cycle through "
+                        + " -> ".join(cycle)
+                    )
+                best = max(best, Fraction(latency_total, distance_total))
+        return best
+
+    def resource_mii(self, units: int) -> int:
+        """ResMII for ``units`` identical fully-pipelined units issuing
+        one operation per cycle."""
+        if units < 1:
+            raise AnalysisError("need at least one functional unit")
+        return -(-self.size // units)  # ceil division
+
+    def critical_path(self) -> int:
+        """Longest zero-distance (intra-iteration) latency path."""
+        order = list(
+            nx.topological_sort(
+                nx.DiGraph(
+                    (e.source, e.target)
+                    for e in self.edges
+                    if e.distance == 0
+                )
+            )
+        )
+        finish: Dict[str, int] = {}
+        for node in self.nodes:
+            finish[node] = self.latencies[node]
+        for node in order:
+            for edge in self.successors(node):
+                if edge.distance:
+                    continue
+                finish[edge.target] = max(
+                    finish[edge.target],
+                    finish[node] + self.latencies[edge.target],
+                )
+        return max(finish.values(), default=0)

@@ -1,0 +1,106 @@
+"""Classic (non-pipelined) list scheduling baseline.
+
+Schedules *one* iteration of the loop body on ``units`` identical
+fully-pipelined functional units with a given operation latency, using
+critical-path priority, then runs iterations back to back: iteration
+``i + 1`` may not start an operation before every operation of
+iteration ``i`` that it depends on (and, without software pipelining,
+before the iteration barrier).  Its initiation interval is therefore
+the one-iteration makespan — the number software pipelining exists to
+beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import AnalysisError
+from .depgraph import DependenceGraph
+
+__all__ = ["ListSchedule", "list_schedule"]
+
+
+@dataclass
+class ListSchedule:
+    """One-iteration schedule.  ``start_times`` are issue cycles within
+    the iteration; ``makespan`` (last completion) is the II of the
+    back-to-back loop execution."""
+
+    start_times: Dict[str, int]
+    makespan: int
+    units: int
+
+    @property
+    def initiation_interval(self) -> int:
+        return self.makespan
+
+    @property
+    def rate(self) -> Fraction:
+        return Fraction(1, self.makespan)
+
+
+def list_schedule(
+    graph: DependenceGraph,
+    units: int = 1,
+    latency: Optional[int] = None,
+) -> ListSchedule:
+    """Critical-path list scheduling of the intra-iteration DAG.
+
+    ``latency`` overrides every node's latency (e.g. the SCP pipeline
+    depth ``l``); loop-carried edges are ignored within the iteration —
+    they are satisfied trivially because iterations do not overlap.
+    """
+    if units < 1:
+        raise AnalysisError("need at least one functional unit")
+
+    def lat(node: str) -> int:
+        return latency if latency is not None else graph.latencies[node]
+
+    nodes = list(graph.nodes)
+    zero_edges = [(e.source, e.target) for e in graph.edges if e.distance == 0]
+    dag = nx.DiGraph()
+    dag.add_nodes_from(nodes)
+    dag.add_edges_from(zero_edges)
+
+    # Priority: longest latency path to any sink (critical path).
+    priority: Dict[str, int] = {}
+    for node in reversed(list(nx.topological_sort(dag))):
+        below = [priority[s] for s in dag.successors(node)]
+        priority[node] = lat(node) + (max(below) if below else 0)
+
+    indegree = {node: dag.in_degree(node) for node in nodes}
+    ready: List[str] = [n for n in nodes if indegree[n] == 0]
+    earliest: Dict[str, int] = {n: 0 for n in nodes}
+    start_times: Dict[str, int] = {}
+    time = 0
+    scheduled = 0
+    while scheduled < len(nodes):
+        issued = 0
+        # Highest priority first; deterministic tie-break by name.
+        for node in sorted(
+            [n for n in ready if earliest[n] <= time],
+            key=lambda n: (-priority[n], n),
+        ):
+            if issued == units:
+                break
+            start_times[node] = time
+            ready.remove(node)
+            issued += 1
+            scheduled += 1
+            for successor in dag.successors(node):
+                indegree[successor] -= 1
+                earliest[successor] = max(
+                    earliest[successor], time + lat(node)
+                )
+                if indegree[successor] == 0:
+                    ready.append(successor)
+        time += 1
+        if time > sum(lat(n) for n in nodes) + len(nodes) + 1:
+            raise AnalysisError("list scheduling failed to converge")
+
+    makespan = max(start_times[n] + lat(n) for n in nodes)
+    return ListSchedule(start_times=start_times, makespan=makespan, units=units)

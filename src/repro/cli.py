@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command> <loop-file>``.
+
+Commands
+--------
+
+``schedule``  compile a loop file and print the derived time-optimal
+              schedule (optionally for an ``--stages N`` clean
+              pipeline);
+``analyze``   print the loop's dependence classification, critical
+              cycles, rates and detection statistics;
+``storage``   print the Section 6 storage optimisation and the
+              buffer-balancing result;
+``dot``       emit Graphviz DOT for the dataflow graph or the SDSP-PN.
+
+Loop files use the frontend syntax of :mod:`repro.loops.parser`;
+loop-invariant scalars are bound with repeated ``--scalar NAME=VALUE``
+options.  Exit status is non-zero on any compilation or verification
+failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Timed Petri-net fine-grain loop scheduling "
+            "(Gao, Wong & Ning, PLDI 1991)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("loop_file", help="file containing one loop")
+        sub.add_argument(
+            "--scalar",
+            action="append",
+            default=[],
+            metavar="NAME=VALUE",
+            help="bind a loop-invariant scalar (repeatable)",
+        )
+        sub.add_argument(
+            "--abstract",
+            action="store_true",
+            help="drop load/store nodes (the paper's figure mode)",
+        )
+
+    schedule = subparsers.add_parser(
+        "schedule", help="derive and print the time-optimal schedule"
+    )
+    add_common(schedule)
+    schedule.add_argument(
+        "--stages",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also schedule for an N-stage single clean pipeline",
+    )
+
+    analyze = subparsers.add_parser(
+        "analyze", help="dependences, critical cycles, rates, detection"
+    )
+    add_common(analyze)
+
+    storage = subparsers.add_parser(
+        "storage", help="storage optimisation and buffer balancing"
+    )
+    add_common(storage)
+
+    dot = subparsers.add_parser("dot", help="emit Graphviz DOT")
+    add_common(dot)
+    dot.add_argument(
+        "--what",
+        choices=["dataflow", "net"],
+        default="dataflow",
+        help="which graph to emit",
+    )
+    return parser
+
+
+def _parse_scalars(pairs: Sequence[str]) -> Dict[str, float]:
+    scalars: Dict[str, float] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise ReproError(f"--scalar expects NAME=VALUE, got {pair!r}")
+        scalars[name] = float(value)
+    return scalars
+
+
+def _compile(args: argparse.Namespace, stages: Optional[int] = None):
+    from .pipeline import compile_loop
+
+    with open(args.loop_file) as handle:
+        source = handle.read()
+    return compile_loop(
+        source,
+        scalars=_parse_scalars(args.scalar),
+        pipeline_stages=stages,
+        include_io=not args.abstract,
+    )
+
+
+def _cmd_schedule(args: argparse.Namespace, out) -> int:
+    from .report import render_schedule
+
+    result = _compile(args, stages=args.stages)
+    print(render_schedule(result.schedule), file=out)
+    print(
+        f"\noptimal rate {result.optimal_rate}; frustum found at step "
+        f"{result.frustum.repeat_time} (n = {result.pn.size})",
+        file=out,
+    )
+    if result.scp_schedule is not None:
+        print(
+            f"\n--- {args.stages}-stage clean pipeline ---", file=out
+        )
+        print(render_schedule(result.scp_schedule), file=out)
+        print(f"pipeline utilisation {result.scp_utilization}", file=out)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    from .core import critical_cycles, theoretical_bounds
+
+    result = _compile(args)
+    info = result.translation.info
+    print(f"loop {result.translation.loop.name!r}:", file=out)
+    print(
+        f"  classification : "
+        f"{'DOALL (no loop-carried dependence)' if info.is_doall else 'loop-carried'}",
+        file=out,
+    )
+    for dependence in info.dependences:
+        kind = "carried" if dependence.loop_carried else "intra"
+        print(
+            f"    {dependence.producer} -> {dependence.consumer} "
+            f"({kind}, distance {dependence.distance})",
+            file=out,
+        )
+    report = critical_cycles(result.pn)
+    print(
+        f"  cycle time     : {report.cycle_time} "
+        f"(rate {report.computation_rate})",
+        file=out,
+    )
+    for cycle in report.critical_cycles:
+        print("    critical: " + " -> ".join(cycle.transitions), file=out)
+    bounds = result.bounds
+    print(
+        f"  frustum        : found at step {result.frustum.repeat_time}, "
+        f"period {result.frustum.length} "
+        f"(theory bound O(n^{4 if bounds.case == 'single' else 3}) = "
+        f"{bounds.step_bound})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace, out) -> int:
+    from .core import balance_buffers, optimize_storage, verify_allocation
+
+    result = _compile(args)
+    allocation = optimize_storage(result.pn)
+    print(
+        f"storage locations: {allocation.baseline_locations} -> "
+        f"{allocation.locations} (saved {allocation.savings})",
+        file=out,
+    )
+    for chain in allocation.chains:
+        if chain.length > 1:
+            path = " -> ".join([chain.head] + [a.target for a in chain.arcs])
+            print(f"  merged acknowledgement: {path}", file=out)
+    rate = verify_allocation(result.pn, allocation)
+    print(f"cycle time preserved at {rate}", file=out)
+
+    balance = balance_buffers(result.pn)
+    print(
+        f"\nbuffer balancing for period {balance.target_period}: "
+        f"{balance.total} total slots over {len(balance.capacities)} arcs",
+        file=out,
+    )
+    for identifier, capacity in sorted(balance.capacities.items()):
+        if capacity > 1:
+            print(f"  {identifier}: {capacity} slots", file=out)
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace, out) -> int:
+    from .report.dot import dataflow_to_dot, petri_net_to_dot
+
+    result = _compile(args)
+    if args.what == "dataflow":
+        print(dataflow_to_dot(result.translation.graph), file=out)
+    else:
+        print(
+            petri_net_to_dot(
+                result.pn.net, result.pn.initial, result.pn.durations
+            ),
+            file=out,
+        )
+    return 0
+
+
+_COMMANDS = {
+    "schedule": _cmd_schedule,
+    "analyze": _cmd_analyze,
+    "storage": _cmd_storage,
+    "dot": _cmd_dot,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except BrokenPipeError:
+        # downstream consumer (e.g. `head`) closed the pipe; not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,83 @@
+"""The paper's core contribution: SDSP formalism, SDSP-PN and
+SDSP-SCP-PN construction, cyclic-frustum post-processing, schedule
+derivation, rate/bound analysis, schedule verification and storage
+optimisation."""
+
+from .sdsp import AckArc, Sdsp
+from .sdsp_pn import SdspPetriNet, build_sdsp_pn
+from .scp import RUN_PLACE, SdspScpNet, build_sdsp_scp_pn
+from .frustum import SteadyStateNet, steady_state_equivalent_net
+from .schedule import PipelinedSchedule, ScheduledOp, derive_schedule
+from .rate import (
+    critical_cycles,
+    frustum_rate,
+    optimal_rate,
+    pipeline_utilization,
+    scp_rate_upper_bound,
+)
+from .bounds import (
+    DetectionMeasurement,
+    TheoreticalBounds,
+    measure_detection,
+    observed_bound_scp,
+    observed_bound_sdsp,
+    theoretical_bounds,
+)
+from .verify import (
+    VerificationReport,
+    execute_schedule,
+    verify_dependences,
+    verify_rate,
+    verify_resource,
+    verify_schedule,
+)
+from .storage import (
+    AckChain,
+    BufferBalance,
+    StorageAllocation,
+    apply_allocation,
+    balance_buffers,
+    balancing_ratios,
+    optimize_storage,
+    verify_allocation,
+)
+
+__all__ = [
+    "AckArc",
+    "Sdsp",
+    "SdspPetriNet",
+    "build_sdsp_pn",
+    "RUN_PLACE",
+    "SdspScpNet",
+    "build_sdsp_scp_pn",
+    "SteadyStateNet",
+    "steady_state_equivalent_net",
+    "PipelinedSchedule",
+    "ScheduledOp",
+    "derive_schedule",
+    "critical_cycles",
+    "frustum_rate",
+    "optimal_rate",
+    "pipeline_utilization",
+    "scp_rate_upper_bound",
+    "DetectionMeasurement",
+    "TheoreticalBounds",
+    "measure_detection",
+    "observed_bound_scp",
+    "observed_bound_sdsp",
+    "theoretical_bounds",
+    "VerificationReport",
+    "execute_schedule",
+    "verify_dependences",
+    "verify_rate",
+    "verify_resource",
+    "verify_schedule",
+    "AckChain",
+    "BufferBalance",
+    "StorageAllocation",
+    "apply_allocation",
+    "balance_buffers",
+    "balancing_ratios",
+    "optimize_storage",
+    "verify_allocation",
+]

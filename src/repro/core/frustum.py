@@ -1,0 +1,162 @@
+"""Cyclic-frustum post-processing: the steady-state equivalent net
+(Section 3.3, Figure 1(f)).
+
+Once the behavior graph reaches its frustum it repeats forever, so
+instead of extending the graph indefinitely the paper extracts the
+frustum and coalesces its initial and terminal instantaneous states
+into a strongly-connected Petri net — the **steady-state equivalent
+net** — whose repeated execution *is* the steady state.
+
+Construction (for marked graphs, i.e. the SDSP-PN): each transition
+``t`` that fires ``c`` times per frustum becomes ``c`` instance
+transitions ``t#0 .. t#c−1`` (in firing order).  Every place ``p`` of
+the original net (producer ``u``, consumer ``v``, ``r`` tokens in the
+repeated instantaneous state's marking) becomes ``c`` instance places:
+consumption ``j`` of ``v`` is fed, FIFO, by production ``j − r`` of
+``u`` — wrapping around the frustum boundary with one initial token per
+boundary crossed.  Summed over a cycle this reproduces the original
+token counts, and the net is live, safe and strongly connected; the
+test suite checks all three, plus the defining property that executing
+the equivalent net under the earliest firing rule reproduces the
+frustum's firing pattern with the same period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import AnalysisError, NotAMarkedGraphError
+from ..petrinet.behavior import CyclicFrustum
+from ..petrinet.marked_graph import require_marked_graph
+from ..petrinet.marking import Marking
+from ..petrinet.net import PetriNet
+from ..petrinet.timed import TimedPetriNet
+
+__all__ = ["SteadyStateNet", "steady_state_equivalent_net"]
+
+
+@dataclass
+class SteadyStateNet:
+    """The coalesced repetitive pattern.
+
+    ``instance_of`` maps ``(transition, j)`` to the instance transition
+    name; ``base_of`` inverts it.  ``relative_times`` records when each
+    instance fires within the frustum — the steady-state schedule that
+    :mod:`repro.core.schedule` turns into Figure 1(g).
+    """
+
+    net: PetriNet
+    initial: Marking
+    durations: Dict[str, int]
+    period: int
+    instance_of: Dict[Tuple[str, int], str]
+    base_of: Dict[str, Tuple[str, int]]
+    relative_times: Dict[str, int]
+
+    @property
+    def timed(self) -> TimedPetriNet:
+        return TimedPetriNet(self.net, self.durations)
+
+    def firings_per_period(self, base_transition: str) -> int:
+        return sum(
+            1 for (name, _j) in self.base_of.values() if name == base_transition
+        )
+
+
+def steady_state_equivalent_net(
+    net: PetriNet,
+    durations: Mapping[str, int],
+    frustum: CyclicFrustum,
+) -> SteadyStateNet:
+    """Build the steady-state equivalent net of a marked graph's
+    frustum.
+
+    Raises :class:`NotAMarkedGraphError` for nets with structural
+    conflict (the SDSP-SCP-PN) — there the steady state is captured by
+    the schedule alone, as in the paper's Figure 3(c) discussion — and
+    :class:`AnalysisError` if the frustum does not fire every
+    transition (impossible for a live marked graph's frustum).
+    """
+    require_marked_graph(net)
+    if not frustum.state.is_quiescent:
+        # In-flight firings hold tokens that are on no place, which the
+        # marking-based wrap-around counting below cannot see.  With the
+        # paper's unit execution times every snapshot is quiescent, so
+        # this only triggers for multi-cycle operations.
+        raise AnalysisError(
+            "the repeated instantaneous state has in-flight firings; the "
+            "steady-state equivalent net construction requires a quiescent "
+            "repeated state"
+        )
+    counts = frustum.firing_counts
+    for transition in net.transition_names:
+        if counts.get(transition, 0) == 0:
+            raise AnalysisError(
+                f"transition {transition!r} does not fire inside the frustum; "
+                "the net cannot be live"
+            )
+
+    # Firing order (and relative times) of each transition's instances.
+    firing_times: Dict[str, List[int]] = {t: [] for t in net.transition_names}
+    for time, fired in frustum.schedule_steps:
+        for transition in fired:
+            firing_times[transition].append(time - frustum.start_time)
+
+    result = PetriNet(f"{net.name}-steady")
+    instance_of: Dict[Tuple[str, int], str] = {}
+    base_of: Dict[str, Tuple[str, int]] = {}
+    relative_times: Dict[str, int] = {}
+    new_durations: Dict[str, int] = {}
+
+    for transition in net.transition_names:
+        for j, when in enumerate(firing_times[transition]):
+            name = f"{transition}#{j}"
+            result.add_transition(
+                name, annotation=net.transition(transition).annotation
+            )
+            instance_of[(transition, j)] = name
+            base_of[name] = (transition, j)
+            relative_times[name] = when
+            new_durations[name] = int(durations[transition])
+
+    tokens: Dict[str, int] = {}
+    state_marking = frustum.state.marking
+    for place_obj in net.places:
+        place = place_obj.name
+        (producer,) = net.input_transitions(place)
+        (consumer,) = net.output_transitions(place)
+        produced = counts[producer]
+        consumed = counts[consumer]
+        if produced != consumed:
+            raise AnalysisError(
+                f"place {place!r}: producer fires {produced} times per "
+                f"frustum but consumer fires {consumed}; the frustum is not "
+                "a cyclic firing sequence"
+            )
+        boundary_tokens = state_marking[place]
+        for j in range(consumed):
+            # FIFO matching: consumption j eats production j - r, with
+            # one initial token per frustum boundary wrapped across.
+            g = j - boundary_tokens
+            wraps = 0
+            while g < 0:
+                g += produced
+                wraps += 1
+            instance_place = f"{place}#{j}"
+            result.add_place(instance_place, annotation=place_obj.annotation)
+            result.add_arc(instance_of[(producer, g)], instance_place)
+            result.add_arc(instance_place, instance_of[(consumer, j)])
+            if wraps:
+                tokens[instance_place] = wraps
+
+    return SteadyStateNet(
+        net=result,
+        initial=Marking(tokens, result),
+        durations=new_durations,
+        period=frustum.length,
+        instance_of=instance_of,
+        base_of=base_of,
+        relative_times=relative_times,
+    )

@@ -1,0 +1,72 @@
+"""Computation rates (Appendix A.7, Theorem 5.2.2, Section 6).
+
+The *computation rate* of a transition is its average firings per time
+unit; for a live timed marked graph every transition shares the same
+rate, the reciprocal of the cycle time::
+
+    gamma = min over simple cycles C of  M(C) / Ω(C)
+
+This is **time-optimal**: no machine model can do better, and an ideal
+machine (unbounded parallelism, earliest firing) achieves it.  For the
+SDSP-SCP-PN the single issue slot adds the resource bound of
+Theorem 5.2.2: no instruction can fire more often than ``1/n``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from ..petrinet.analysis import CriticalCycleReport, critical_cycle_report
+from ..petrinet.behavior import CyclicFrustum
+from .scp import SdspScpNet
+from .sdsp_pn import SdspPetriNet
+
+__all__ = [
+    "optimal_rate",
+    "critical_cycles",
+    "scp_rate_upper_bound",
+    "frustum_rate",
+    "pipeline_utilization",
+]
+
+
+def critical_cycles(pn: SdspPetriNet) -> CriticalCycleReport:
+    """Full critical-cycle analysis of an SDSP-PN."""
+    return critical_cycle_report(pn.view(), pn.durations)
+
+
+def optimal_rate(pn: SdspPetriNet) -> Fraction:
+    """The time-optimal computation rate ``γ`` of the loop: the hard
+    upper bound the critical cycles impose on any schedule."""
+    return critical_cycles(pn).computation_rate
+
+
+def scp_rate_upper_bound(scp: SdspScpNet) -> Fraction:
+    """Theorem 5.2.2: with ``n`` instructions sharing one clean
+    pipeline, no instruction's rate can exceed ``1/n`` — one issue slot
+    per cycle divided among ``n`` instructions per iteration.  This
+    bound is independent of the conflict-resolution policy."""
+    return Fraction(1, scp.size)
+
+
+def frustum_rate(frustum: CyclicFrustum, instruction: str) -> Fraction:
+    """Measured steady-state rate of one instruction (the Tables 1/2
+    *computation rate* column): frustum firing count over frustum
+    length."""
+    return frustum.computation_rate(instruction)
+
+
+def pipeline_utilization(scp: SdspScpNet, frustum: CyclicFrustum) -> Fraction:
+    """Fraction of cycles the SCP issues an instruction in steady state
+    (Table 2's *processor usage*): total instruction firings per
+    frustum, times the 1-cycle issue slot, over the frustum length.
+
+    Equals 1 exactly when the Theorem 5.2.2 bound is met.
+    """
+    issue_cycles = sum(
+        frustum.firing_counts.get(t, 0) for t in scp.sdsp_transitions
+    )
+    if frustum.length == 0:
+        raise ZeroDivisionError("empty frustum")
+    return Fraction(issue_cycles, frustum.length)

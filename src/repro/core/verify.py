@@ -1,0 +1,255 @@
+"""Schedule validation: dependences, resources, rate and semantics.
+
+A derived schedule is only trustworthy if it can be *replayed* against
+everything it promised:
+
+* **Dependence feasibility** — for every place of the SDSP-PN (data and
+  acknowledgement alike) with producer ``u``, consumer ``v`` and ``r``
+  initial tokens, FIFO matching forces ``start_v(i) >= start_u(i − r) +
+  latency(u)`` for all iterations ``i >= r``.  This single rule covers
+  forward dependences, loop-carried dependences, and the buffer
+  (acknowledgement) constraints.
+* **Resource feasibility** — at most ``capacity`` instructions issue
+  per cycle (1 for the single clean pipeline).
+* **Rate achievement** — the kernel's ``k / II`` equals the optimal
+  rate from critical-cycle analysis (for the ideal model), making the
+  schedule time-optimal, or the documented resource bound (SCP).
+* **Semantic preservation** — the schedule is executed with real
+  values, producer results flowing to consumers at the scheduled
+  iteration distances, and the output arrays compared against a direct
+  interpretation of the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..dataflow.actors import ActorKind, EvalContext
+from ..dataflow.graph import DataflowGraph
+from ..errors import ScheduleError
+from .schedule import PipelinedSchedule, ScheduledOp
+from .sdsp_pn import SdspPetriNet
+
+__all__ = [
+    "VerificationReport",
+    "verify_dependences",
+    "verify_resource",
+    "verify_rate",
+    "execute_schedule",
+    "verify_schedule",
+]
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated validation outcome; ``violations`` is empty on
+    success."""
+
+    violations: List[str] = field(default_factory=list)
+    checked_constraints: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def require(self) -> None:
+        if self.violations:
+            raise ScheduleError(
+                "schedule verification failed:\n  - "
+                + "\n  - ".join(self.violations[:20])
+            )
+
+
+def verify_dependences(
+    pn: SdspPetriNet,
+    schedule: PipelinedSchedule,
+    iterations: int = 12,
+    latency_of: Optional[Callable[[str], int]] = None,
+) -> VerificationReport:
+    """Check every place's FIFO precedence constraint over the first
+    ``iterations`` iterations.
+
+    ``latency_of`` maps a producer to the delay before its token is
+    available; it defaults to the net's execution times.  For a
+    schedule meant for an ``l``-stage pipeline pass ``lambda t: l``.
+    """
+    if latency_of is None:
+        latency_of = lambda t: pn.durations[t]  # noqa: E731
+    report = VerificationReport()
+    scheduled = set(schedule.instructions)
+    for place in pn.net.place_names:
+        (producer,) = pn.net.input_transitions(place)
+        (consumer,) = pn.net.output_transitions(place)
+        if producer not in scheduled or consumer not in scheduled:
+            continue
+        tokens = pn.initial[place]
+        for i in range(tokens, iterations):
+            consumer_start = schedule.start_of(consumer, i)
+            producer_start = schedule.start_of(producer, i - tokens)
+            ready = producer_start + latency_of(producer)
+            report.checked_constraints += 1
+            if consumer_start < ready:
+                report.violations.append(
+                    f"place {place!r}: {consumer!r} iteration {i} starts at "
+                    f"{consumer_start} before {producer!r} iteration "
+                    f"{i - tokens} is ready at {ready}"
+                )
+    return report
+
+
+def verify_resource(
+    schedule: PipelinedSchedule,
+    iterations: int = 12,
+    capacity: int = 1,
+    instructions: Optional[Sequence[str]] = None,
+) -> VerificationReport:
+    """At most ``capacity`` issues per cycle among ``instructions``
+    (default: all scheduled instructions)."""
+    report = VerificationReport()
+    keep = set(instructions) if instructions is not None else None
+    per_cycle: Dict[int, int] = {}
+    for op in schedule.expand(iterations):
+        if keep is not None and op.instruction not in keep:
+            continue
+        per_cycle[op.time] = per_cycle.get(op.time, 0) + 1
+    for time, count in sorted(per_cycle.items()):
+        report.checked_constraints += 1
+        if count > capacity:
+            report.violations.append(
+                f"cycle {time}: {count} instructions issued, capacity "
+                f"{capacity}"
+            )
+    return report
+
+
+def verify_rate(
+    schedule: PipelinedSchedule, expected_rate: Fraction
+) -> VerificationReport:
+    """The kernel rate must equal the analytically optimal rate."""
+    report = VerificationReport()
+    report.checked_constraints += 1
+    if schedule.rate != expected_rate:
+        report.violations.append(
+            f"schedule rate {schedule.rate} differs from expected "
+            f"{expected_rate}"
+        )
+    return report
+
+
+def execute_schedule(
+    graph: DataflowGraph,
+    schedule: PipelinedSchedule,
+    arrays: Optional[Mapping[str, Sequence[Any]]] = None,
+    iterations: int = 8,
+    initial_values: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, List[Any]]:
+    """Execute the scheduled instruction instances with real values.
+
+    Instances run in issue order.  Operand values flow along the data
+    arcs at the arc's iteration distance (its initial token count);
+    LOAD/STORE actors absent from the schedule (abstract mode) are
+    evaluated implicitly at the consumer/producer's iteration.  Returns
+    the per-array output streams, to be compared against the reference
+    interpretation.
+    """
+    arrays = dict(arrays or {})
+    initial_values = dict(initial_values or {})
+    context = EvalContext(arrays)
+    scheduled = set(schedule.instructions)
+
+    # values[(actor, iteration)][port] -> value
+    values: Dict[Tuple[str, int], List[Any]] = {}
+
+    def value_of(actor_name: str, iteration: int, port: int, arc_id: str) -> Any:
+        if iteration < 0:
+            if arc_id in initial_values:
+                return initial_values[arc_id]
+            return 0
+        actor = graph.actor(actor_name)
+        if actor.kind is ActorKind.LOAD and actor_name not in scheduled:
+            array = arrays[actor.param("array")]
+            return array[iteration + actor.param("offset", 0)]
+        key = (actor_name, iteration)
+        if key not in values:
+            raise ScheduleError(
+                f"operand of iteration {iteration} of {actor_name!r} "
+                "consumed before it was produced — dependence violation"
+            )
+        return values[key][port]
+
+    stores: Dict[str, Dict[int, Any]] = {}
+
+    def run_instance(name: str, iteration: int) -> None:
+        actor = graph.actor(name)
+        inputs = []
+        for arc in graph.in_arcs(name):
+            inputs.append(
+                value_of(
+                    arc.source,
+                    iteration - arc.initial_tokens,
+                    arc.source_port,
+                    arc.identifier,
+                )
+            )
+        if actor.kind is ActorKind.LOAD:
+            array = arrays[actor.param("array")]
+            values[(name, iteration)] = [
+                array[iteration + actor.param("offset", 0)]
+            ]
+            return
+        if actor.kind is ActorKind.STORE:
+            stores.setdefault(actor.param("array"), {})[iteration] = inputs[0]
+            return
+        outputs = actor.evaluate(inputs, context)
+        values[(name, iteration)] = outputs
+
+    for op in schedule.expand(iterations):
+        run_instance(op.instruction, op.iteration)
+
+    # Stores absent from the schedule (abstract mode): their value is
+    # the producer's output at the same iteration.
+    for actor in graph.actors:
+        if actor.kind is not ActorKind.STORE or actor.name in scheduled:
+            continue
+        (arc,) = graph.in_arcs(actor.name)
+        out: Dict[int, Any] = {}
+        for iteration in range(iterations):
+            key = (arc.source, iteration - arc.initial_tokens)
+            if key in values:
+                out[iteration] = values[key][arc.source_port]
+        stores[actor.param("array")] = out
+
+    return {
+        array: [mapping[i] for i in sorted(mapping)]
+        for array, mapping in stores.items()
+    }
+
+
+def verify_schedule(
+    pn: SdspPetriNet,
+    schedule: PipelinedSchedule,
+    iterations: int = 12,
+    expected_rate: Optional[Fraction] = None,
+    capacity: Optional[int] = None,
+    latency_of: Optional[Callable[[str], int]] = None,
+) -> VerificationReport:
+    """Run the structural checks together and merge the reports."""
+    combined = VerificationReport()
+    for report in [
+        verify_dependences(pn, schedule, iterations, latency_of),
+        (
+            verify_resource(schedule, iterations, capacity)
+            if capacity is not None
+            else VerificationReport()
+        ),
+        (
+            verify_rate(schedule, expected_rate)
+            if expected_rate is not None
+            else VerificationReport()
+        ),
+    ]:
+        combined.violations.extend(report.violations)
+        combined.checked_constraints += report.checked_constraints
+    return combined

@@ -1,0 +1,52 @@
+"""Static dataflow graph substrate (the SDSP program representation).
+
+Actors, data arcs (forward and feedback), a fluent builder, SDSP
+well-formedness validation, and a value-level pipelined interpreter
+used to verify that derived schedules preserve loop semantics.
+"""
+
+from .actors import (
+    DUMMY,
+    Actor,
+    ActorKind,
+    BINARY_OPERATIONS,
+    UNARY_OPERATIONS,
+    binop,
+    identity,
+    load,
+    merge,
+    sink,
+    store,
+    switch,
+    unop,
+)
+from .graph import ArcKind, DataArc, DataflowGraph
+from .builder import GraphBuilder, OutputRef
+from .validate import ValidationReport, require_valid, validate
+from .interp import InterpreterResult, interpret
+
+__all__ = [
+    "DUMMY",
+    "Actor",
+    "ActorKind",
+    "BINARY_OPERATIONS",
+    "UNARY_OPERATIONS",
+    "binop",
+    "identity",
+    "load",
+    "merge",
+    "sink",
+    "store",
+    "switch",
+    "unop",
+    "ArcKind",
+    "DataArc",
+    "DataflowGraph",
+    "GraphBuilder",
+    "OutputRef",
+    "ValidationReport",
+    "require_valid",
+    "validate",
+    "InterpreterResult",
+    "interpret",
+]

@@ -1,0 +1,334 @@
+"""Actor (node) catalogue for static dataflow graphs.
+
+Each node of an SDSP dataflow graph represents one machine instruction
+(Section 2: "Each node (or actor) in the graph represents a single
+instruction").  This module defines the operator repertoire used by the
+loop frontend and the value-level interpreter:
+
+* ``LOAD`` — fetches successive elements of an input array (the
+  "successive waves of elements ... fetched and fed into the graph" of
+  Section 2); an optional iteration-relative ``offset`` models
+  subscripts like ``Z[k+10]``.
+* ``STORE`` — writes successive elements of an output array.
+* ``BINOP`` / ``UNOP`` — arithmetic; either operand of a ``BINOP`` may
+  be an immediate constant (the paper's Figure 1 folds the literal 5
+  into the graph the same way).
+* ``IDENTITY`` — a pass-through/pipe node.
+* ``SWITCH`` / ``MERGE`` — the conditional actors of Section 3.2, with
+  the *modified* firing rule that produces and consumes dummy tokens on
+  unselected branches so that structurally they behave exactly like
+  ordinary nodes (and the conditional graph remains an ordinary SDSP).
+
+The :data:`DUMMY` sentinel is the dummy token circulated by
+switch/merge on unselected branches.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DataflowError
+
+__all__ = [
+    "ActorKind",
+    "Actor",
+    "DUMMY",
+    "BINARY_OPERATIONS",
+    "UNARY_OPERATIONS",
+    "load",
+    "sink",
+    "store",
+    "binop",
+    "unop",
+    "identity",
+    "switch",
+    "merge",
+]
+
+
+class _Dummy:
+    """Singleton dummy-token value (Section 3.2's altered switch/merge
+    firing rule)."""
+
+    _instance: Optional["_Dummy"] = None
+
+    def __new__(cls) -> "_Dummy":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "DUMMY"
+
+
+DUMMY = _Dummy()
+
+
+class ActorKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    BINOP = "binop"
+    UNOP = "unop"
+    IDENTITY = "identity"
+    SWITCH = "switch"
+    MERGE = "merge"
+    SINK = "sink"
+
+
+BINARY_OPERATIONS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "min": min,
+    "max": max,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+}
+
+UNARY_OPERATIONS: Dict[str, Callable[[Any], Any]] = {
+    "neg": operator.neg,
+    "abs": abs,
+    "sqrt": math.sqrt,
+    "not": operator.not_,
+}
+
+
+@dataclass(frozen=True)
+class Actor:
+    """An instruction node.
+
+    ``arity`` is the number of *data* input ports (0-indexed,
+    contiguous).  ``params`` carries kind-specific attributes:
+
+    ========  =====================================================
+    kind      params
+    ========  =====================================================
+    LOAD      ``array`` (str), ``offset`` (int, default 0)
+    STORE     ``array`` (str)
+    BINOP     ``op`` (str); optionally ``immediate`` (value) and
+              ``immediate_port`` (0 or 1)
+    UNOP      ``op`` (str)
+    SWITCH    — (port 0 = control, port 1 = data)
+    MERGE     — (port 0 = control, port 1 = true data,
+              port 2 = false data)
+    ========  =====================================================
+    """
+
+    name: str
+    kind: ActorKind
+    arity: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for candidate, value in self.params:
+            if candidate == key:
+                return value
+        return default
+
+    @property
+    def is_source(self) -> bool:
+        """True for actors with no data inputs (they are throttled only
+        by acknowledgement arcs in the SDSP)."""
+        return self.arity == 0
+
+    @property
+    def label(self) -> str:
+        """A short human-readable operation label for renderings."""
+        if self.kind is ActorKind.LOAD:
+            offset = self.param("offset", 0)
+            suffix = f"+{offset}" if offset > 0 else (str(offset) if offset else "")
+            return f"{self.param('array')}[i{suffix}]"
+        if self.kind is ActorKind.STORE:
+            return f"{self.param('array')}[i]:="
+        if self.kind in (ActorKind.BINOP, ActorKind.UNOP):
+            return str(self.param("op"))
+        return self.kind.value
+
+    # ------------------------------------------------------------------
+    # Evaluation (used by the interpreter)
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Sequence[Any], context: "EvalContext") -> List[Any]:
+        """Apply the actor to one token per input port; return one value
+        per *output port* (most actors have a single output port whose
+        value is broadcast along every outgoing arc; SWITCH has two
+        output ports: 0 = true branch, 1 = false branch)."""
+        if len(inputs) != self.arity:
+            raise DataflowError(
+                f"actor {self.name!r} expects {self.arity} inputs, got "
+                f"{len(inputs)}"
+            )
+        # Dummy propagation (Section 3.2): an actor inside an unselected
+        # conditional branch receives dummy tokens and forwards them, so
+        # structurally it fires exactly like a selected one.  Merge is
+        # the only actor that inspects dummies itself.
+        if self.kind is not ActorKind.MERGE and any(
+            value is DUMMY for value in inputs
+        ):
+            if self.kind is ActorKind.SWITCH:
+                return [DUMMY, DUMMY]
+            if self.kind is ActorKind.STORE:
+                raise DataflowError(
+                    f"store {self.name!r} received a dummy token; stores "
+                    "must sit after the merge of a conditional"
+                )
+            if self.kind is ActorKind.SINK:
+                return []
+            return [DUMMY]
+        if self.kind is ActorKind.LOAD:
+            array = context.arrays[self.param("array")]
+            index = context.firing_index(self.name) + self.param("offset", 0)
+            return [array[index]]
+        if self.kind is ActorKind.STORE:
+            context.record_store(self.param("array"), inputs[0])
+            return []
+        if self.kind is ActorKind.BINOP:
+            op_name = self.param("op")
+            function = BINARY_OPERATIONS.get(op_name)
+            if function is None:
+                raise DataflowError(f"unknown binary operation {op_name!r}")
+            immediate_port = self.param("immediate_port")
+            if immediate_port is None:
+                left, right = inputs
+            elif immediate_port == 0:
+                left, (right,) = self.param("immediate"), inputs
+            else:
+                (left,), right = inputs, self.param("immediate")
+            return [function(left, right)]
+        if self.kind is ActorKind.UNOP:
+            function = UNARY_OPERATIONS.get(self.param("op"))
+            if function is None:
+                raise DataflowError(f"unknown unary operation {self.param('op')!r}")
+            return [function(inputs[0])]
+        if self.kind is ActorKind.IDENTITY:
+            return [inputs[0]]
+        if self.kind is ActorKind.SINK:
+            return []
+        if self.kind is ActorKind.SWITCH:
+            control, value = inputs
+            if control:
+                return [value, DUMMY]
+            return [DUMMY, value]
+        if self.kind is ActorKind.MERGE:
+            control, true_value, false_value = inputs
+            if control is DUMMY:
+                # the whole conditional sits in an unselected outer
+                # branch (nested conditionals): fire on dummies like any
+                # regular node
+                if true_value is not DUMMY or false_value is not DUMMY:
+                    raise DataflowError(
+                        f"merge {self.name!r} has a dummy control but a "
+                        "real data token; nested conditional gating is "
+                        "inconsistent"
+                    )
+                return [DUMMY]
+            selected = true_value if control else false_value
+            unselected = false_value if control else true_value
+            if unselected is not DUMMY:
+                raise DataflowError(
+                    f"merge {self.name!r} received a real token on its "
+                    "unselected branch; switch/merge pairing is broken"
+                )
+            if selected is DUMMY:
+                raise DataflowError(
+                    f"merge {self.name!r} received a dummy token on its "
+                    "selected branch"
+                )
+            return [selected]
+        raise DataflowError(f"unhandled actor kind {self.kind}")  # pragma: no cover
+
+
+class EvalContext:
+    """Interpreter-side services an actor may need: the input arrays,
+    per-actor firing indices (for LOAD subscripts) and output recording
+    (for STORE)."""
+
+    def __init__(self, arrays: Dict[str, Sequence[Any]]) -> None:
+        self.arrays = dict(arrays)
+        self._firing_counts: Dict[str, int] = {}
+        self.stores: Dict[str, List[Any]] = {}
+
+    def firing_index(self, actor_name: str) -> int:
+        return self._firing_counts.get(actor_name, 0)
+
+    def bump_firing(self, actor_name: str) -> None:
+        self._firing_counts[actor_name] = self._firing_counts.get(actor_name, 0) + 1
+
+    def record_store(self, array: str, value: Any) -> None:
+        self.stores.setdefault(array, []).append(value)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+
+def load(name: str, array: str, offset: int = 0) -> Actor:
+    """An array-element fetch node ``array[i + offset]``."""
+    return Actor(name, ActorKind.LOAD, 0, (("array", array), ("offset", offset)))
+
+
+def store(name: str, array: str) -> Actor:
+    """An array-element store node ``array[i] := input``."""
+    return Actor(name, ActorKind.STORE, 1, (("array", array),))
+
+
+def binop(
+    name: str,
+    op: str,
+    immediate: Any = None,
+    immediate_port: Optional[int] = None,
+) -> Actor:
+    """A binary arithmetic node; supply ``immediate``/``immediate_port``
+    to fold one constant operand into the instruction."""
+    if op not in BINARY_OPERATIONS:
+        raise DataflowError(f"unknown binary operation {op!r}")
+    if (immediate is None) != (immediate_port is None):
+        raise DataflowError("immediate and immediate_port must be given together")
+    if immediate_port is None:
+        return Actor(name, ActorKind.BINOP, 2, (("op", op),))
+    if immediate_port not in (0, 1):
+        raise DataflowError("immediate_port must be 0 or 1")
+    return Actor(
+        name,
+        ActorKind.BINOP,
+        1,
+        (("op", op), ("immediate", immediate), ("immediate_port", immediate_port)),
+    )
+
+
+def unop(name: str, op: str) -> Actor:
+    if op not in UNARY_OPERATIONS:
+        raise DataflowError(f"unknown unary operation {op!r}")
+    return Actor(name, ActorKind.UNOP, 1, (("op", op),))
+
+
+def identity(name: str) -> Actor:
+    return Actor(name, ActorKind.IDENTITY, 1)
+
+
+def switch(name: str) -> Actor:
+    """Port 0 = boolean control, port 1 = data; output port 0 feeds the
+    true branch, output port 1 the false branch (dummy on the other)."""
+    return Actor(name, ActorKind.SWITCH, 2)
+
+
+def merge(name: str) -> Actor:
+    """Port 0 = boolean control, port 1 = true-branch data, port 2 =
+    false-branch data; consumes a dummy from the unselected branch."""
+    return Actor(name, ActorKind.MERGE, 3)
+
+
+def sink(name: str) -> Actor:
+    """Discards one token per firing (real or dummy).  Sinks absorb the
+    values a SWITCH routes to a branch that does not use them, keeping
+    the conditional subgraph well-formed (every switch output consumed,
+    every place bounded)."""
+    return Actor(name, ActorKind.SINK, 1)

@@ -1,0 +1,203 @@
+"""Fluent construction API for static dataflow graphs.
+
+The builder keeps graph assembly close to how the paper draws its
+figures: name a node, say what it computes, and wire operands by
+naming their producers.  Example — loop L1 of Figure 1::
+
+    b = GraphBuilder("L1")
+    b.load("x", "X")
+    b.binop("A", "+", "x", immediate=5)      # A[i] := X[i] + 5
+    b.load("y", "Y")
+    b.binop("B", "+", "y", "A")              # B[i] := Y[i] + A[i]
+    ...
+    b.store("outD", "D", "D_val")
+    graph = b.build()
+
+Feedback (loop-carried) operands are wired with
+:meth:`GraphBuilder.feedback`, which records the one-iteration distance
+and the initial token of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import DataflowError
+from . import actors as actor_lib
+from .actors import Actor, ActorKind
+from .graph import ArcKind, DataArc, DataflowGraph
+
+__all__ = ["GraphBuilder", "OutputRef"]
+
+
+class OutputRef:
+    """Reference to a node's output port, used to wire SWITCH branches:
+    ``b.ref("s", port=0)`` is the true branch, port 1 the false one."""
+
+    def __init__(self, node: str, port: int = 0) -> None:
+        self.node = node
+        self.port = port
+
+
+Operand = Union[str, OutputRef]
+
+
+class GraphBuilder:
+    """Incremental dataflow-graph builder with operand wiring."""
+
+    def __init__(self, name: str = "dataflow") -> None:
+        self._graph = DataflowGraph(name)
+        self._pending_feedback: List[DataArc] = []
+
+    # ------------------------------------------------------------------
+    # Node constructors
+    # ------------------------------------------------------------------
+    def load(self, name: str, array: str, offset: int = 0) -> str:
+        """Add an array-fetch node ``array[i + offset]``."""
+        self._graph.add_actor(actor_lib.load(name, array, offset))
+        return name
+
+    def store(self, name: str, array: str, value: Operand) -> str:
+        """Add an array-store node consuming ``value``."""
+        self._graph.add_actor(actor_lib.store(name, array))
+        self._wire(value, name, 0)
+        return name
+
+    def binop(
+        self,
+        name: str,
+        op: str,
+        left: Optional[Operand] = None,
+        right: Optional[Operand] = None,
+        immediate: Any = None,
+        immediate_port: Optional[int] = None,
+    ) -> str:
+        """Add a binary node.
+
+        With an ``immediate``, the constant occupies one operand
+        position (inferred from which of ``left``/``right`` is omitted,
+        or forced with ``immediate_port``) and the node has a single
+        data port 0.  Operands may be omitted entirely when a feedback
+        arc (wired later via :meth:`feedback`) will drive the port;
+        validation catches ports that stay undriven.
+        """
+        if immediate is not None:
+            if immediate_port is None:
+                if left is None and right is not None:
+                    immediate_port = 0
+                elif right is None and left is not None:
+                    immediate_port = 1
+                elif left is None and right is None:
+                    raise DataflowError(
+                        f"binop {name!r}: with an immediate and no operand, "
+                        "specify immediate_port explicitly"
+                    )
+                else:
+                    raise DataflowError(
+                        "with an immediate, give at most one data operand"
+                    )
+            actor = actor_lib.binop(name, op, immediate, immediate_port)
+            self._graph.add_actor(actor)
+            operand = right if immediate_port == 0 else left
+            if operand is not None:
+                self._wire(operand, name, 0)
+            return name
+        self._graph.add_actor(actor_lib.binop(name, op))
+        if left is not None:
+            self._wire(left, name, 0)
+        if right is not None:
+            self._wire(right, name, 1)
+        return name
+
+    def unop(self, name: str, op: str, value: Optional[Operand] = None) -> str:
+        """Add a unary node; ``value`` may be omitted for a port driven
+        later by :meth:`feedback`."""
+        self._graph.add_actor(actor_lib.unop(name, op))
+        if value is not None:
+            self._wire(value, name, 0)
+        return name
+
+    def identity(self, name: str, value: Optional[Operand] = None) -> str:
+        """Add a pass-through node; ``value`` may be omitted for a port
+        driven later by :meth:`feedback`."""
+        self._graph.add_actor(actor_lib.identity(name))
+        if value is not None:
+            self._wire(value, name, 0)
+        return name
+
+    def switch(self, name: str, control: Operand, value: Operand) -> str:
+        """Add a switch node; use ``ref(name, 0)`` / ``ref(name, 1)`` to
+        consume its true/false outputs."""
+        self._graph.add_actor(actor_lib.switch(name))
+        self._wire(control, name, 0)
+        self._wire(value, name, 1)
+        return name
+
+    def merge(
+        self,
+        name: str,
+        control: Operand,
+        true_value: Operand,
+        false_value: Operand,
+    ) -> str:
+        self._graph.add_actor(actor_lib.merge(name))
+        self._wire(control, name, 0)
+        self._wire(true_value, name, 1)
+        self._wire(false_value, name, 2)
+        return name
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def ref(self, node: str, port: int = 0) -> OutputRef:
+        """Reference an output port (only SWITCH has port 1)."""
+        return OutputRef(node, port)
+
+    def feedback(
+        self,
+        source: Operand,
+        target: str,
+        target_port: int,
+        initial_tokens: int = 1,
+    ) -> None:
+        """Wire a loop-carried operand: the value produced by ``source``
+        in iteration ``i`` is consumed by ``target`` in iteration
+        ``i+1``; ``initial_tokens`` models the pre-loop value (always 1
+        in an SDSP).
+
+        Feedback arcs may refer to nodes defined later, so they are
+        recorded and attached at :meth:`build` time.
+        """
+        source_ref = source if isinstance(source, OutputRef) else OutputRef(source)
+        self._pending_feedback.append(
+            DataArc(
+                source_ref.node,
+                target,
+                target_port,
+                kind=ArcKind.FEEDBACK,
+                source_port=source_ref.port,
+                initial_tokens=initial_tokens,
+            )
+        )
+
+    def _wire(self, operand: Operand, target: str, port: int) -> None:
+        ref = operand if isinstance(operand, OutputRef) else OutputRef(operand)
+        if not self._graph.has_actor(ref.node):
+            raise DataflowError(
+                f"operand {ref.node!r} of {target!r} is not defined yet; "
+                "define producers before consumers (use feedback() for "
+                "loop-carried operands)"
+            )
+        self._graph.add_arc(
+            DataArc(ref.node, target, port, source_port=ref.port)
+        )
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> DataflowGraph:
+        """Attach pending feedback arcs and return the graph."""
+        for arc in self._pending_feedback:
+            self._graph.add_arc(arc)
+        self._pending_feedback = []
+        return self._graph

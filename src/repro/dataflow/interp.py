@@ -1,0 +1,163 @@
+"""Value-level interpreter for static dataflow graphs.
+
+The interpreter executes an SDSP the way a static dataflow machine
+would (Section 2's "successive waves"): every arc is a FIFO buffer of
+bounded capacity, and an actor fires when each input arc offers a token
+*and* each output arc has buffer space — the operational meaning of the
+acknowledgement arcs.  With the default capacity of one token per arc
+this is exactly the static dataflow one-token-per-arc discipline the
+SDSP-PN encodes.
+
+The interpreter exists to close the loop on *semantics*: the scheduling
+pipeline (frustum → schedule) only reorders instruction instances, so
+replaying a loop through the interpreter and comparing against a direct
+(NumPy or scalar) evaluation catches translation bugs that pure
+structural checks cannot.  See :mod:`repro.core.verify`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DataflowError
+from .actors import DUMMY, ActorKind, EvalContext
+from .graph import ArcKind, DataArc, DataflowGraph
+
+__all__ = ["InterpreterResult", "interpret"]
+
+
+@dataclass
+class InterpreterResult:
+    """Outputs of a pipelined interpretation.
+
+    ``stores`` maps each output array name to the list of values written
+    (index ``i`` = iteration ``i``); ``firings`` counts firings per
+    actor; ``steps`` is the number of synchronous rounds executed.
+    """
+
+    stores: Dict[str, List[Any]]
+    firings: Dict[str, int]
+    steps: int
+
+
+def interpret(
+    graph: DataflowGraph,
+    arrays: Optional[Mapping[str, Sequence[Any]]] = None,
+    iterations: int = 1,
+    initial_values: Optional[Mapping[str, Any]] = None,
+    buffer_capacity: int = 1,
+    max_rounds: Optional[int] = None,
+) -> InterpreterResult:
+    """Run ``iterations`` waves of the loop body through the graph.
+
+    Parameters
+    ----------
+    arrays:
+        Input arrays, keyed by the array names of the LOAD actors.  Each
+        must be long enough for ``iterations`` plus the largest positive
+        subscript offset.
+    initial_values:
+        Values of the tokens sitting on feedback arcs before iteration
+        0, keyed by arc identifier (``"src.0->dst.1"``).  Arcs not named
+        start with the integer 0 — fine for reductions initialised to
+        zero, but recurrences like Livermore loop 5 need their real
+        boundary values here.
+    buffer_capacity:
+        FIFO capacity of each arc *in addition to nothing* — i.e. total
+        slots per arc.  Capacity 1 reproduces the SDSP one-token-per-arc
+        discipline; larger capacities model the FIFO-queued dataflow
+        extension discussed in Section 7.
+    """
+    from .validate import require_valid
+
+    require_valid(graph)
+    if iterations < 0:
+        raise DataflowError("iterations must be non-negative")
+    if buffer_capacity < 1:
+        raise DataflowError("buffer_capacity must be >= 1")
+
+    context = EvalContext(dict(arrays or {}))
+    initial_values = dict(initial_values or {})
+
+    queues: Dict[DataArc, Deque[Any]] = {}
+    for arc in graph.arcs:
+        queue: Deque[Any] = deque()
+        if arc.kind is ArcKind.FEEDBACK:
+            value = initial_values.pop(arc.identifier, 0)
+            for _ in range(arc.initial_tokens):
+                queue.append(value)
+        queues[arc] = queue
+    if initial_values:
+        unknown = ", ".join(sorted(initial_values))
+        raise DataflowError(f"initial values name unknown arcs: {unknown}")
+
+    # Check array extents up front for a clear error message.
+    for actor in graph.actors:
+        if actor.kind is not ActorKind.LOAD:
+            continue
+        array_name = actor.param("array")
+        if array_name not in context.arrays:
+            raise DataflowError(f"no input array {array_name!r} supplied")
+        needed = iterations + max(0, actor.param("offset", 0))
+        have = len(context.arrays[array_name])
+        if have < needed:
+            raise DataflowError(
+                f"array {array_name!r} has {have} elements; actor "
+                f"{actor.name!r} needs {needed} for {iterations} iterations"
+            )
+
+    target_firings = {actor.name: iterations for actor in graph.actors}
+    firings = {actor.name: 0 for actor in graph.actors}
+    out_arcs = {actor.name: graph.out_arcs(actor.name) for actor in graph.actors}
+    in_arcs = {actor.name: graph.in_arcs(actor.name) for actor in graph.actors}
+
+    if max_rounds is None:
+        # Each synchronous round fires every fireable actor once; the
+        # pipeline completes an iteration every O(1) rounds, plus a
+        # fill/drain transient bounded by the critical path.
+        max_rounds = 4 * (iterations + len(graph) + 4)
+
+    rounds = 0
+    while rounds < max_rounds:
+        if all(firings[name] >= target_firings[name] for name in firings):
+            break
+        progressed = False
+        for actor in graph.actors:
+            name = actor.name
+            if firings[name] >= target_firings[name]:
+                continue
+            if any(not queues[arc] for arc in in_arcs[name]):
+                continue
+            if any(
+                len(queues[arc]) >= buffer_capacity + arc.initial_tokens
+                for arc in out_arcs[name]
+            ):
+                continue
+            inputs = [queues[arc].popleft() for arc in in_arcs[name]]
+            outputs = actor.evaluate(inputs, context)
+            context.bump_firing(name)
+            for arc in out_arcs[name]:
+                queues[arc].append(outputs[arc.source_port])
+            firings[name] += 1
+            progressed = True
+        rounds += 1
+        if not progressed:
+            stuck = [
+                name
+                for name in firings
+                if firings[name] < target_firings[name]
+            ]
+            raise DataflowError(
+                "dataflow interpretation deadlocked; actors still owing "
+                f"firings: {', '.join(sorted(stuck))}"
+            )
+
+    incomplete = [n for n in firings if firings[n] < target_firings[n]]
+    if incomplete:
+        raise DataflowError(
+            f"interpreter exceeded {max_rounds} rounds with actors "
+            f"unfinished: {', '.join(sorted(incomplete))}"
+        )
+    return InterpreterResult(stores=context.stores, firings=firings, steps=rounds)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the major
+subsystems: net construction, dataflow-graph construction, the loop
+frontend, simulation, and analysis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class NetConstructionError(ReproError):
+    """Raised when a Petri net is assembled inconsistently.
+
+    Examples: adding an arc whose endpoints do not exist, duplicating a
+    place name, or connecting a place to a place.
+    """
+
+
+class MarkingError(ReproError):
+    """Raised for invalid markings (negative tokens, unknown places)."""
+
+
+class NotAMarkedGraphError(ReproError):
+    """Raised when a marked-graph-only operation is applied to a net in
+    which some place does not have exactly one producer and one consumer."""
+
+
+class FiringError(ReproError):
+    """Raised when a transition is fired without being enabled."""
+
+
+class SimulationError(ReproError):
+    """Raised when a timed simulation cannot make progress or exceeds a
+    configured step budget without reaching the requested condition."""
+
+
+class DataflowError(ReproError):
+    """Raised for ill-formed dataflow graphs (e.g. an SDSP arc whose
+    endpoints are missing, or a switch node with no control input)."""
+
+
+class LoopIRError(ReproError):
+    """Raised by the loop frontend: parse errors, references to
+    undefined values, unsupported dependence distances, and so on."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a derived schedule is internally inconsistent or
+    fails validation against its dependence/resource constraints."""
+
+
+class AnalysisError(ReproError):
+    """Raised by graph analyses (cycle-time computation, storage
+    optimisation) when the input has no well-defined answer, e.g. a
+    cycle with zero tokens (deadlocked net)."""

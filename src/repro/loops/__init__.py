@@ -1,0 +1,17 @@
+"""Loop frontend: IR, parser, dependence analysis, dataflow lowering,
+reference semantics and the Livermore kernel suite."""
+
+from .ir import ArrayRef, Assign, Binary, Const, Expr, Loop, ScalarRef, Ternary, Unary, walk_expr
+from .parser import parse_expression, parse_loop
+from .dependence import Dependence, DependenceInfo, analyze
+from .translate import TranslationResult, translate
+from .reference import reference_execute
+from .livermore import KERNELS, LivermoreKernel, kernel, paper_kernel_set
+
+__all__ = [
+    "ArrayRef", "Assign", "Binary", "Const", "Expr", "Loop", "ScalarRef",
+    "Ternary", "Unary", "walk_expr", "parse_expression", "parse_loop",
+    "Dependence", "DependenceInfo", "analyze",
+    "TranslationResult", "translate", "reference_execute",
+    "KERNELS", "LivermoreKernel", "kernel", "paper_kernel_set",
+]

@@ -1,0 +1,134 @@
+"""Dependence analysis over the loop IR.
+
+Classifies every value flow in the loop body:
+
+* **intra-iteration** flow (distance 0): a statement uses a value the
+  same iteration computes — a forward data arc in the SDSP;
+* **loop-carried** flow (distance ``d >= 1``): a use of ``A[i−d]`` or of
+  an accumulator's previous value — a feedback arc.  The SDSP model of
+  the paper handles distance exactly 1 ("we assume that loop-carried
+  dependences are from one iteration to the next", Section 3.2);
+  larger distances are reported so the translator can reject them.
+
+A ``doall`` annotation is *checked*: a parallel loop with a detected
+loop-carried dependence is an analysis error (this is how the test
+suite demonstrates that Livermore loop 9 is DOALL-able only after
+subscript analysis, mirroring the paper's footnote 5).
+
+Reads of arrays written by the loop at *future* iterations
+(``A[i + c]``, ``c > 0`` with ``A`` defined in the loop) would be
+anti-dependences on uncomputed values and are rejected outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import LoopIRError
+from .ir import ArrayRef, Assign, Expr, Loop, ScalarRef, walk_expr
+
+__all__ = ["Dependence", "DependenceInfo", "analyze"]
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A flow dependence between two statements (by target name).
+
+    ``distance`` 0 means same-iteration; ``d >= 1`` means the consumer's
+    iteration ``i`` uses the producer's iteration ``i − d``.
+    """
+
+    producer: str
+    consumer: str
+    distance: int
+
+    @property
+    def loop_carried(self) -> bool:
+        return self.distance >= 1
+
+
+@dataclass
+class DependenceInfo:
+    """The dependence summary the translator consumes."""
+
+    loop: Loop
+    dependences: List[Dependence] = field(default_factory=list)
+
+    @property
+    def loop_carried(self) -> List[Dependence]:
+        return [d for d in self.dependences if d.loop_carried]
+
+    @property
+    def is_doall(self) -> bool:
+        """True iff no loop-carried dependence exists — the class of
+        loops the paper calls DOALL (Section 2)."""
+        return not self.loop_carried
+
+    @property
+    def max_distance(self) -> int:
+        return max((d.distance for d in self.dependences), default=0)
+
+    def producers_of(self, consumer: str) -> List[Dependence]:
+        return [d for d in self.dependences if d.consumer == consumer]
+
+
+def analyze(loop: Loop, strict_doall: bool = True) -> DependenceInfo:
+    """Compute all flow dependences of ``loop``.
+
+    ``strict_doall`` makes a ``doall`` loop with loop-carried
+    dependences an error (on by default; disable to *measure* how
+    parallel an annotated loop actually is).
+    """
+    defined = loop.defined_names
+    statement_order = {s.target_name: i for i, s in enumerate(loop.statements)}
+    info = DependenceInfo(loop)
+    seen: Set[Tuple[str, str, int]] = set()
+
+    for statement in loop.statements:
+        consumer = statement.target_name
+        for node in walk_expr(statement.expr):
+            dependence = _classify(node, consumer, defined, statement_order, loop)
+            if dependence is None:
+                continue
+            key = (dependence.producer, dependence.consumer, dependence.distance)
+            if key not in seen:
+                seen.add(key)
+                info.dependences.append(dependence)
+
+    if strict_doall and loop.parallel and not info.is_doall:
+        carried = ", ".join(
+            f"{d.producer}->{d.consumer} (distance {d.distance})"
+            for d in info.loop_carried
+        )
+        raise LoopIRError(
+            f"loop {loop.name!r} is annotated doall but has loop-carried "
+            f"dependences: {carried}"
+        )
+    return info
+
+
+def _classify(
+    node: Expr,
+    consumer: str,
+    defined: Set[str],
+    statement_order: Dict[str, int],
+    loop: Loop,
+) -> Optional[Dependence]:
+    if isinstance(node, ArrayRef) and node.array in defined:
+        if node.offset > 0:
+            raise LoopIRError(
+                f"statement {consumer!r} reads {node} but {node.array!r} is "
+                "written by the loop: a use of a future iteration's value "
+                "is not computable"
+            )
+        return Dependence(node.array, consumer, -node.offset)
+    if isinstance(node, ScalarRef) and node.name in defined:
+        # Reading an accumulator: before its assignment in program
+        # order (or in its own defining statement) it is the previous
+        # iteration's value; after, it is this iteration's.
+        producer_position = statement_order[node.name]
+        consumer_position = statement_order[consumer]
+        distance = 1 if producer_position >= consumer_position else 0
+        return Dependence(node.name, consumer, distance)
+    return None

@@ -1,0 +1,265 @@
+"""A small textual frontend for the loop IR.
+
+Grammar (one loop per source)::
+
+    loop      := ("do" | "doall") NAME? ":" NEWLINE stmt+
+    stmt      := target "=" expr
+    target    := NAME "[" "i" "]" | NAME
+    expr      := arith (("<" | "<=" | ">" | ">=" | "==") arith)?
+    arith     := term (("+" | "-") term)*
+    term      := factor (("*" | "/") factor)*
+    factor    := "-" factor | NUMBER | NAME subscript? | "(" expr ")"
+               | NAME "(" expr ")"            # unary intrinsic: sqrt, abs
+               | "where" "(" expr "," expr "," expr ")"  # conditional
+    subscript := "[" "i" (("+" | "-") NUMBER)? "]"
+
+Example (loop L1 of the paper)::
+
+    doall L1:
+        A[i] = X[i] + 5
+        B[i] = Y[i] + A[i]
+        C[i] = A[i] + Z[i]
+        D[i] = B[i] + C[i]
+        E[i] = W[i] + D[i]
+
+Blank lines and ``#`` comments are ignored.  The parser produces a
+:class:`repro.loops.ir.Loop`; dependence legality (e.g. that a
+``doall`` really has no loop-carried dependence) is checked later by
+:mod:`repro.loops.dependence`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple, Union
+
+from ..errors import LoopIRError
+from .ir import (
+    ArrayRef,
+    Assign,
+    Binary,
+    Const,
+    Expr,
+    Loop,
+    ScalarRef,
+    Ternary,
+    Unary,
+)
+
+__all__ = ["parse_loop", "parse_expression"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d+|\d+|\.\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<symbol><=|>=|==|<|>|\*|/|\+|-|\(|\)|\[|\]|=|:|,))"
+)
+
+_COMPARISONS = ("<", "<=", ">", ">=", "==")
+
+_UNARY_INTRINSICS = {"sqrt", "abs", "neg", "not"}
+
+
+class _Tokens:
+    """A trivial token cursor over one line."""
+
+    def __init__(self, text: str, line_number: int) -> None:
+        self.line_number = line_number
+        self.items: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                if text[position:].strip():
+                    raise LoopIRError(
+                        f"line {line_number}: cannot tokenise "
+                        f"{text[position:].strip()!r}"
+                    )
+                break
+            position = match.end()
+            for kind in ("number", "name", "symbol"):
+                value = match.group(kind)
+                if value is not None:
+                    self.items.append((kind, value))
+                    break
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        item = self.peek()
+        if item is None:
+            raise LoopIRError(
+                f"line {self.line_number}: unexpected end of statement"
+            )
+        self.index += 1
+        return item
+
+    def expect(self, symbol: str) -> None:
+        kind, value = self.next()
+        if value != symbol:
+            raise LoopIRError(
+                f"line {self.line_number}: expected {symbol!r}, found "
+                f"{value!r}"
+            )
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse_loop(source: str) -> Loop:
+    """Parse one loop from ``source`` text."""
+    lines = [
+        (number, line.split("#", 1)[0].rstrip())
+        for number, line in enumerate(source.splitlines(), start=1)
+    ]
+    lines = [(n, line) for n, line in lines if line.strip()]
+    if not lines:
+        raise LoopIRError("empty loop source")
+
+    header_number, header = lines[0]
+    header_tokens = _Tokens(header, header_number)
+    kind, keyword = header_tokens.next()
+    if kind != "name" or keyword not in ("do", "doall"):
+        raise LoopIRError(
+            f"line {header_number}: loop must start with 'do' or 'doall'"
+        )
+    parallel = keyword == "doall"
+    name = "loop"
+    item = header_tokens.peek()
+    if item is not None and item[0] == "name":
+        name = header_tokens.next()[1]
+    header_tokens.expect(":")
+    if not header_tokens.at_end():
+        raise LoopIRError(f"line {header_number}: trailing tokens after ':'")
+
+    statements = [
+        _parse_statement(_Tokens(line, number)) for number, line in lines[1:]
+    ]
+    if not statements:
+        raise LoopIRError("loop has no statements")
+    return Loop(name=name, statements=statements, parallel=parallel)
+
+
+def _parse_statement(tokens: _Tokens) -> Assign:
+    kind, name = tokens.next()
+    if kind != "name":
+        raise LoopIRError(
+            f"line {tokens.line_number}: statement must start with a name"
+        )
+    target: Union[ArrayRef, ScalarRef]
+    item = tokens.peek()
+    if item is not None and item[1] == "[":
+        offset = _parse_subscript(tokens)
+        if offset != 0:
+            raise LoopIRError(
+                f"line {tokens.line_number}: may only assign to {name}[i]"
+            )
+        target = ArrayRef(name, 0)
+    else:
+        target = ScalarRef(name)
+    tokens.expect("=")
+    expr = _parse_expr(tokens)
+    if not tokens.at_end():
+        kind, value = tokens.next()
+        raise LoopIRError(
+            f"line {tokens.line_number}: trailing token {value!r}"
+        )
+    return Assign(target, expr)
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (used in tests and the examples)."""
+    tokens = _Tokens(text, 1)
+    expr = _parse_expr(tokens)
+    if not tokens.at_end():
+        raise LoopIRError(f"trailing tokens in expression {text!r}")
+    return expr
+
+
+def _parse_expr(tokens: _Tokens) -> Expr:
+    expr = _parse_arith(tokens)
+    item = tokens.peek()
+    if item is not None and item[1] in _COMPARISONS:
+        op = tokens.next()[1]
+        expr = Binary(op, expr, _parse_arith(tokens))
+    return expr
+
+
+def _parse_arith(tokens: _Tokens) -> Expr:
+    expr = _parse_term(tokens)
+    while True:
+        item = tokens.peek()
+        if item is None or item[1] not in ("+", "-"):
+            return expr
+        op = tokens.next()[1]
+        expr = Binary(op, expr, _parse_term(tokens))
+
+
+def _parse_term(tokens: _Tokens) -> Expr:
+    expr = _parse_factor(tokens)
+    while True:
+        item = tokens.peek()
+        if item is None or item[1] not in ("*", "/"):
+            return expr
+        op = tokens.next()[1]
+        expr = Binary(op, expr, _parse_factor(tokens))
+
+
+def _parse_factor(tokens: _Tokens) -> Expr:
+    kind, value = tokens.next()
+    if value == "-":
+        return Unary("neg", _parse_factor(tokens))
+    if kind == "number":
+        return Const(float(value))
+    if value == "(":
+        inner = _parse_expr(tokens)
+        tokens.expect(")")
+        return inner
+    if kind == "name":
+        item = tokens.peek()
+        if item is not None and item[1] == "[":
+            return ArrayRef(value, _parse_subscript(tokens))
+        if item is not None and item[1] == "(" and value == "where":
+            tokens.expect("(")
+            cond = _parse_expr(tokens)
+            tokens.expect(",")
+            then = _parse_expr(tokens)
+            tokens.expect(",")
+            els = _parse_expr(tokens)
+            tokens.expect(")")
+            return Ternary(cond, then, els)
+        if item is not None and item[1] == "(" and value in _UNARY_INTRINSICS:
+            tokens.expect("(")
+            inner = _parse_expr(tokens)
+            tokens.expect(")")
+            return Unary(value, inner)
+        return ScalarRef(value)
+    raise LoopIRError(
+        f"line {tokens.line_number}: unexpected token {value!r} in expression"
+    )
+
+
+def _parse_subscript(tokens: _Tokens) -> int:
+    tokens.expect("[")
+    kind, value = tokens.next()
+    if kind != "name" or value != "i":
+        raise LoopIRError(
+            f"line {tokens.line_number}: subscripts must use the loop "
+            f"index 'i', found {value!r}"
+        )
+    item = tokens.peek()
+    offset = 0
+    if item is not None and item[1] in ("+", "-"):
+        sign = 1 if tokens.next()[1] == "+" else -1
+        kind, magnitude = tokens.next()
+        if kind != "number" or "." in magnitude:
+            raise LoopIRError(
+                f"line {tokens.line_number}: subscript offset must be an "
+                "integer literal"
+            )
+        offset = sign * int(magnitude)
+    tokens.expect("]")
+    return offset

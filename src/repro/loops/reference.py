@@ -1,0 +1,132 @@
+"""Direct (sequential) reference semantics for loop IR.
+
+The scheduling pipeline must not change what a loop computes; this
+module evaluates a :class:`~repro.loops.ir.Loop` the obvious way —
+statement by statement, iteration by iteration — and is the oracle the
+dataflow interpreter and the scheduled executor are compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import LoopIRError
+from .ir import (
+    ArrayRef,
+    Assign,
+    Binary,
+    Const,
+    Expr,
+    Loop,
+    ScalarRef,
+    Ternary,
+    Unary,
+)
+
+__all__ = ["reference_execute"]
+
+_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "min": min,
+    "max": max,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+}
+
+_UNARY = {
+    "neg": lambda a: -a,
+    "abs": abs,
+    "sqrt": lambda a: a ** 0.5,
+}
+
+
+def reference_execute(
+    loop: Loop,
+    arrays: Optional[Mapping[str, Sequence[Any]]] = None,
+    scalars: Optional[Mapping[str, float]] = None,
+    iterations: int = 8,
+    boundary: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, List[Any]]:
+    """Run the loop for ``iterations`` iterations.
+
+    ``boundary`` supplies pre-loop values: ``boundary["X"]`` is both the
+    initial value of accumulator ``X`` and the value returned for any
+    negative-subscript read ``X[i−d]`` with ``i < d`` (default 0).
+
+    Returns the written streams: for array targets the values written
+    to ``A[0..iterations-1]``, for accumulators their value after each
+    iteration.
+    """
+    arrays = dict(arrays or {})
+    scalars = dict(scalars or {})
+    boundary = dict(boundary or {})
+    defined = loop.defined_names
+
+    written: Dict[str, List[Any]] = {name: [] for name in defined}
+    accumulators: Dict[str, Any] = {}
+    for name in loop.accumulator_scalars:
+        supplied = boundary.get(name, 0)
+        if isinstance(supplied, (list, tuple)):
+            supplied = supplied[0] if supplied else 0
+        accumulators[name] = supplied
+
+    def eval_expr(expr: Expr, iteration: int) -> Any:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, ScalarRef):
+            if expr.name in defined:
+                return accumulators[expr.name]
+            if expr.name not in scalars:
+                raise LoopIRError(f"unbound scalar {expr.name!r}")
+            return scalars[expr.name]
+        if isinstance(expr, ArrayRef):
+            index = iteration + expr.offset
+            if expr.array in defined:
+                if index < 0:
+                    supplied = boundary.get(expr.array, 0)
+                    if isinstance(supplied, (list, tuple)):
+                        # element d-1 is the pre-loop value X[-d]
+                        depth = -index
+                        return (
+                            supplied[depth - 1]
+                            if depth - 1 < len(supplied)
+                            else 0
+                        )
+                    return supplied
+                values = written[expr.array]
+                if index >= len(values):
+                    raise LoopIRError(
+                        f"read of {expr.array}[{index}] before it is written"
+                    )
+                return values[index]
+            source = arrays.get(expr.array)
+            if source is None:
+                raise LoopIRError(f"no input array {expr.array!r} supplied")
+            return source[index]
+        if isinstance(expr, Unary):
+            return _UNARY[expr.op](eval_expr(expr.operand, iteration))
+        if isinstance(expr, Binary):
+            return _BINARY[expr.op](
+                eval_expr(expr.left, iteration),
+                eval_expr(expr.right, iteration),
+            )
+        if isinstance(expr, Ternary):
+            if eval_expr(expr.cond, iteration):
+                return eval_expr(expr.then, iteration)
+            return eval_expr(expr.els, iteration)
+        raise LoopIRError(f"unknown expression {expr!r}")
+
+    for iteration in range(iterations):
+        for statement in loop.statements:
+            value = eval_expr(statement.expr, iteration)
+            name = statement.target_name
+            written[name].append(value)
+            if isinstance(statement.target, ScalarRef):
+                accumulators[name] = value
+    return written

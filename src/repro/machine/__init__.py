@@ -1,0 +1,12 @@
+"""Machine models: conflict-resolution policies and the cycle-accurate
+single-clean-pipeline executor."""
+
+from .policies import FifoRunPlacePolicy, StaticPriorityPolicy
+from .scp import MachineRun, ScpMachine
+
+__all__ = [
+    "FifoRunPlacePolicy",
+    "StaticPriorityPolicy",
+    "MachineRun",
+    "ScpMachine",
+]

@@ -1,0 +1,108 @@
+"""Deterministic conflict-resolution policies (Assumption 5.2.1).
+
+The SDSP-SCP-PN's run place is a structural conflict: when several
+instructions are data-ready, the machine must choose which one issues.
+Assumption 5.2.1 only requires that the firing mechanism (a) never
+idles while something is enabled and (b) is a deterministic function of
+the machine's instantaneous state, so that a repeated instantaneous
+state implies repeated behaviour (Lemma 5.2.1).
+
+The paper's simulator resolves choices "by a decision mechanism which
+employs a FIFO queue and an adjacency list representation of the static
+dataflow graph"; :class:`FifoRunPlacePolicy` reproduces that scheme.
+:class:`StaticPriorityPolicy` is an alternative (fixed priority) used
+to demonstrate that *any* deterministic policy yields a frustum, and
+that different policies may yield different frustums with the same
+steady-state rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..petrinet.marking import Marking
+from ..petrinet.net import PetriNet
+from ..petrinet.simulator import ConflictResolutionPolicy
+
+__all__ = ["FifoRunPlacePolicy", "StaticPriorityPolicy"]
+
+
+class FifoRunPlacePolicy(ConflictResolutionPolicy):
+    """FIFO issue of data-ready instructions, with adjacency-list order
+    breaking ties among instructions that become ready simultaneously.
+
+    A transition is *data-ready* when it is idle and every input place
+    **except the run place** is marked; data-ready instructions enter a
+    FIFO queue (simultaneous arrivals in ``priority_order``) and the
+    head of the queue issues whenever the run place token is free.
+    Dummy (non-instruction) transitions bypass the queue entirely.
+
+    The queue contents are part of the machine state
+    (:meth:`state_key`), so frustum detection sees a state that truly
+    determines the future.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        run_place: str,
+        priority_order: Sequence[str],
+    ) -> None:
+        self._net = net
+        self._run_place = run_place
+        self._priority = list(priority_order)
+        self._priority_set = set(priority_order)
+        self._data_inputs: Dict[str, Tuple[str, ...]] = {
+            t: tuple(p for p in net.input_places(t) if p != run_place)
+            for t in priority_order
+        }
+        self._queue: List[str] = []
+
+    def reset(self) -> None:
+        self._queue = []
+
+    def begin_step(self, time: int, marking: Marking, idle: Sequence[str]) -> None:
+        idle_set = set(idle)
+        queued = set(self._queue)
+        for transition in self._priority:
+            if transition in queued or transition not in idle_set:
+                continue
+            if all(marking[p] > 0 for p in self._data_inputs[transition]):
+                self._queue.append(transition)
+
+    def order(self, candidates: Sequence[str]) -> List[str]:
+        candidate_set = set(candidates)
+        queued = [t for t in self._queue if t in candidate_set]
+        others = [t for t in candidates if t not in self._priority_set]
+        return queued + others
+
+    def notify_fired(self, transition: str) -> None:
+        if transition in self._priority_set:
+            try:
+                self._queue.remove(transition)
+            except ValueError:
+                pass
+
+    def state_key(self) -> Tuple:
+        return tuple(self._queue)
+
+
+class StaticPriorityPolicy(ConflictResolutionPolicy):
+    """Always prefer the earliest transition in a fixed priority list
+    (stateless, so its :meth:`state_key` is empty).
+
+    With a shared resource this can starve low-priority instructions
+    *within* a period but not across periods — the data dependences
+    eventually block high-priority instructions — so a frustum still
+    appears; the test suite demonstrates both facts.
+    """
+
+    def __init__(self, priority_order: Sequence[str]) -> None:
+        self._rank: Dict[str, int] = {
+            t: i for i, t in enumerate(priority_order)
+        }
+
+    def order(self, candidates: Sequence[str]) -> List[str]:
+        return sorted(
+            candidates, key=lambda t: (self._rank.get(t, len(self._rank)), t)
+        )

@@ -1,0 +1,261 @@
+"""A cycle-accurate single-clean-pipeline (SCP) machine model.
+
+The SDSP-SCP-PN *is* the paper's machine model, but a model proven
+against itself proves little; this module implements the machine
+directly — an issue stage feeding an ``l``-stage hazard-free pipeline,
+operands held in one-deep acknowledged buffers — without any Petri-net
+machinery.  The test suite checks that its dynamic (FIFO-issue)
+execution reaches exactly the steady-state period of the SDSP-SCP-PN
+frustum, and the benchmark harness uses it to replay derived schedules
+and measure utilisation.
+
+Machine semantics:
+
+* at most one instruction issues per cycle; an issued instruction's
+  result (and the acknowledgements freeing its input buffers) appear
+  ``l`` cycles later;
+* an instruction is *data-ready* when every input buffer holds a value
+  and every output buffer is free (the one-token-per-arc discipline);
+* ready instructions wait in a FIFO queue; ties on the same cycle are
+  broken by program order (Assumption 5.2.1's adjacency-list scheme).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.schedule import PipelinedSchedule
+from ..core.sdsp_pn import SdspPetriNet
+from ..errors import SimulationError
+
+__all__ = ["MachineRun", "ScpMachine"]
+
+
+@dataclass
+class MachineRun:
+    """Outcome of one machine execution.
+
+    ``issue_times[(instruction, iteration)]`` records when each
+    instance issued; ``steady_period``/``steady_iterations`` describe
+    the detected periodic regime of a dynamic run (None for schedule
+    replays, which are periodic by construction).
+    """
+
+    cycles: int
+    issues: int
+    issue_times: Dict[Tuple[str, int], int]
+    steady_period: Optional[int] = None
+    steady_iterations: Optional[int] = None
+
+    @property
+    def utilization(self) -> Fraction:
+        if self.cycles == 0:
+            raise SimulationError("empty run has no utilisation")
+        return Fraction(self.issues, self.cycles)
+
+    @property
+    def steady_rate(self) -> Optional[Fraction]:
+        if self.steady_period is None or self.steady_iterations is None:
+            return None
+        return Fraction(self.steady_iterations, self.steady_period)
+
+
+class ScpMachine:
+    """The machine: built from an SDSP-PN (instructions + data arcs +
+    the derived acknowledgement structure)."""
+
+    def __init__(self, pn: SdspPetriNet, stages: int) -> None:
+        if stages < 1:
+            raise SimulationError("pipeline needs at least one stage")
+        self.pn = pn
+        self.stages = stages
+        self.instructions: Tuple[str, ...] = tuple(pn.net.transition_names)
+        kept = set(self.instructions)
+        # (source, target, distance) data buffers, all capacity 1.
+        self.buffers: List[Tuple[str, str, int]] = [
+            (arc.source, arc.target, arc.initial_tokens)
+            for arc in pn.sdsp.all_data_arcs
+            if arc.source in kept and arc.target in kept
+        ]
+
+    # ------------------------------------------------------------------
+    # Dynamic (FIFO) execution — the hardware the paper models
+    # ------------------------------------------------------------------
+    def run_dynamic(
+        self,
+        iterations: int,
+        max_cycles: Optional[int] = None,
+    ) -> MachineRun:
+        """Execute ``iterations`` iterations with dynamic FIFO issue and
+        detect the steady period from the issue-time series."""
+        if max_cycles is None:
+            max_cycles = 4 * self.stages * (
+                iterations + len(self.instructions) + 4
+            ) * max(1, len(self.instructions))
+
+        # Each capacity-1 buffer tracks: values available to the
+        # consumer, and free slots available to the producer.  A
+        # consumer takes the value at issue and its acknowledgement
+        # frees the slot l cycles later; a producer claims the slot at
+        # issue and the value lands l cycles later — exactly the
+        # series-expanded data/ack place semantics of the SDSP-SCP-PN.
+        values: List[int] = []
+        free: List[int] = []
+        has_ack: List[bool] = []
+        for source, target, distance in self.buffers:
+            values.append(distance)  # feedback buffers start full
+            free.append(1 - distance)
+            # Self-arcs (accumulators) carry no acknowledgement in the
+            # SDSP-PN — the producer's non-reentrance already bounds the
+            # buffer — so the machine must not demand a free slot.
+            has_ack.append(source != target)
+        in_of: Dict[str, List[int]] = {i: [] for i in self.instructions}
+        out_of: Dict[str, List[int]] = {i: [] for i in self.instructions}
+        for index, (source, target, _d) in enumerate(self.buffers):
+            out_of[source].append(index)
+            in_of[target].append(index)
+
+        issued_count: Dict[str, int] = {i: 0 for i in self.instructions}
+        in_flight: Dict[str, int] = {}
+        queue: Deque[str] = deque()
+        queued: Set[str] = set()
+        completions: Dict[int, List[str]] = {}
+        issue_times: Dict[Tuple[str, int], int] = {}
+        issues = 0
+        cycle = 0
+
+        def is_ready(name: str) -> bool:
+            if name in in_flight or issued_count[name] >= iterations:
+                return False
+            if any(values[b] < 1 for b in in_of[name]):
+                return False
+            return all(
+                free[b] >= 1 for b in out_of[name] if has_ack[b]
+            )
+
+        while cycle <= max_cycles:
+            # pipeline drain: results and acknowledgements land.
+            for name in completions.pop(cycle, []):
+                del in_flight[name]
+                for b in out_of[name]:
+                    values[b] += 1
+                for b in in_of[name]:
+                    if has_ack[b]:
+                        free[b] += 1
+            # enqueue newly ready instructions in program order.
+            for name in self.instructions:
+                if name not in queued and is_ready(name):
+                    queue.append(name)
+                    queued.add(name)
+            # issue at most one.
+            if queue:
+                name = queue.popleft()
+                queued.discard(name)
+                for b in in_of[name]:
+                    values[b] -= 1
+                for b in out_of[name]:
+                    if has_ack[b]:
+                        free[b] -= 1
+                iteration = issued_count[name]
+                issued_count[name] = iteration + 1
+                issue_times[(name, iteration)] = cycle
+                in_flight[name] = cycle + self.stages
+                completions.setdefault(cycle + self.stages, []).append(name)
+                issues += 1
+            if all(c >= iterations for c in issued_count.values()) and not in_flight:
+                break
+            cycle += 1
+        else:
+            raise SimulationError(
+                f"dynamic run did not finish within {max_cycles} cycles"
+            )
+
+        period, span = self._detect_period(issue_times, iterations)
+        return MachineRun(
+            cycles=cycle + 1,
+            issues=issues,
+            issue_times=issue_times,
+            steady_period=period,
+            steady_iterations=span,
+        )
+
+    def _detect_period(
+        self,
+        issue_times: Dict[Tuple[str, int], int],
+        iterations: int,
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Steady period from the middle of the issue-time series (the
+        head is the pipeline-fill transient and the tail is perturbed
+        by the end-of-run drain): the common difference
+        ``issue(v, i+k) − issue(v, i)``, scanning k upward."""
+        anchor = iterations // 3
+        limit = (2 * iterations) // 3
+        for k in range(1, max(1, iterations // 3)):
+            if anchor + 2 * k > limit:
+                break
+            deltas = set()
+            for name in self.instructions:
+                for i in range(anchor, anchor + k):
+                    deltas.add(
+                        issue_times[(name, i + k)] - issue_times[(name, i)]
+                    )
+            if len(deltas) == 1:
+                return deltas.pop(), k
+        return None, None
+
+    # ------------------------------------------------------------------
+    # Schedule replay
+    # ------------------------------------------------------------------
+    def run_schedule(
+        self,
+        schedule: PipelinedSchedule,
+        iterations: int,
+    ) -> MachineRun:
+        """Replay a static schedule, enforcing the machine's rules:
+        one issue per cycle and operands ready (producer issued at
+        least ``l`` cycles earlier at the right iteration distance).
+        Raises :class:`SimulationError` on any violation — this is the
+        hardware-level check of a compiler-derived schedule."""
+        ops = [
+            op
+            for op in schedule.expand(iterations)
+            if op.instruction in set(self.instructions)
+        ]
+        issue_times: Dict[Tuple[str, int], int] = {}
+        per_cycle: Dict[int, int] = {}
+        for op in ops:
+            per_cycle[op.time] = per_cycle.get(op.time, 0) + 1
+            if per_cycle[op.time] > 1:
+                raise SimulationError(
+                    f"cycle {op.time}: two instructions issued on a single "
+                    "clean pipeline"
+                )
+            issue_times[(op.instruction, op.iteration)] = op.time
+        for source, target, distance in self.buffers:
+            for (name, iteration), time in issue_times.items():
+                if name != target:
+                    continue
+                producer_iteration = iteration - distance
+                if producer_iteration < 0:
+                    continue
+                key = (source, producer_iteration)
+                if key not in issue_times:
+                    continue
+                if time < issue_times[key] + self.stages:
+                    raise SimulationError(
+                        f"operand of {name!r} iteration {iteration} not ready: "
+                        f"issued at {time}, producer {source!r} completes at "
+                        f"{issue_times[key] + self.stages}"
+                    )
+        if not ops:
+            raise SimulationError("schedule contains no machine instructions")
+        first = min(op.time for op in ops)
+        last = max(op.time for op in ops)
+        return MachineRun(
+            cycles=last - first + 1 + self.stages,
+            issues=len(ops),
+            issue_times=issue_times,
+        )

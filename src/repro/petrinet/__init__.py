@@ -1,0 +1,95 @@
+"""Timed Petri-net substrate.
+
+This package implements the Petri-net machinery of Appendix A of the
+paper: untimed nets and markings, reachability-based behavioural
+properties, marked-graph theory, timed nets with instantaneous states,
+the earliest-firing simulator, behavior graphs with cyclic-frustum
+detection, and cycle-time analysis (enumeration, parametric search and
+linear programming).
+"""
+
+from .net import Arc, PetriNet, Place, Transition
+from .marking import Marking, enabled_transitions, fire
+from .reachability import ReachabilityGraph, explore
+from .properties import (
+    bound_of,
+    consistent_firing_vector,
+    deadlocked_markings,
+    is_bounded,
+    is_consistent,
+    is_live,
+    is_persistent,
+    is_safe,
+)
+from .marked_graph import MarkedGraphView, SimpleCycle, require_marked_graph
+from .timed import InstantaneousState, TimedPetriNet
+from .simulator import (
+    ConflictResolutionPolicy,
+    EarliestFiringSimulator,
+    FireAllPolicy,
+    StepRecord,
+)
+from .behavior import (
+    BehaviorGraph,
+    BehaviorStep,
+    CyclicFrustum,
+    FrustumDetector,
+    PlaceInstance,
+    TransitionInstance,
+    detect_frustum,
+)
+from .analysis import (
+    CriticalCycleReport,
+    CycleMetrics,
+    computation_rate,
+    critical_cycle_report,
+    cycle_metrics,
+    cycle_time_by_enumeration,
+    cycle_time_lawler,
+)
+from .linprog import PeriodicScheduleLP, cycle_time_lp
+
+__all__ = [
+    "Arc",
+    "PetriNet",
+    "Place",
+    "Transition",
+    "Marking",
+    "enabled_transitions",
+    "fire",
+    "ReachabilityGraph",
+    "explore",
+    "bound_of",
+    "consistent_firing_vector",
+    "deadlocked_markings",
+    "is_bounded",
+    "is_consistent",
+    "is_live",
+    "is_persistent",
+    "is_safe",
+    "MarkedGraphView",
+    "SimpleCycle",
+    "require_marked_graph",
+    "InstantaneousState",
+    "TimedPetriNet",
+    "ConflictResolutionPolicy",
+    "EarliestFiringSimulator",
+    "FireAllPolicy",
+    "StepRecord",
+    "BehaviorGraph",
+    "BehaviorStep",
+    "CyclicFrustum",
+    "FrustumDetector",
+    "PlaceInstance",
+    "TransitionInstance",
+    "detect_frustum",
+    "CriticalCycleReport",
+    "CycleMetrics",
+    "computation_rate",
+    "critical_cycle_report",
+    "cycle_metrics",
+    "cycle_time_by_enumeration",
+    "cycle_time_lawler",
+    "PeriodicScheduleLP",
+    "cycle_time_lp",
+]

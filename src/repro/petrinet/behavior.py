@@ -1,0 +1,263 @@
+"""Behavior graphs and cyclic-frustum detection (Section 3.3).
+
+A *behavior graph* is the trace generated while executing a timed Petri
+net under the earliest firing rule: at each time step it records the
+newly marked places and the set of transitions fired at that step, with
+arcs for token consumption (place instance → transition instance) and
+production (transition instance → place instance).
+
+The key observation of the paper (Lemmas 3.3.1/3.3.2) is that the
+behavior graph of an SDSP-PN is unique and eventually repeats an
+*instantaneous state*; the segment between two consecutive occurrences
+of a repeated state is the **cyclic frustum** (Definition 3.3.1), from
+which the steady-state equivalent net and a time-optimal schedule are
+derived.  Detection is a hash-map lookup per step, so finding the
+frustum costs O(detected time × net size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .marking import Marking
+from .simulator import (
+    ConflictResolutionPolicy,
+    EarliestFiringSimulator,
+    StepRecord,
+)
+from .timed import InstantaneousState, TimedPetriNet
+
+__all__ = [
+    "PlaceInstance",
+    "TransitionInstance",
+    "BehaviorStep",
+    "BehaviorGraph",
+    "CyclicFrustum",
+    "FrustumDetector",
+    "detect_frustum",
+]
+
+
+@dataclass(frozen=True)
+class PlaceInstance:
+    """A token birth: ``place`` became marked at ``time`` (time 0 births
+    are the initial marking)."""
+
+    place: str
+    time: int
+
+
+@dataclass(frozen=True)
+class TransitionInstance:
+    """A firing: ``transition`` started executing at ``time``."""
+
+    transition: str
+    time: int
+
+
+@dataclass(frozen=True)
+class BehaviorStep:
+    """One level of the behavior graph."""
+
+    time: int
+    fired: Tuple[str, ...]
+    newly_marked: Tuple[str, ...]
+    state: InstantaneousState
+
+
+@dataclass
+class BehaviorGraph:
+    """The recorded trace: levels plus consumption/production arcs.
+
+    ``consumptions`` maps each :class:`TransitionInstance` to the place
+    instances whose tokens it consumed; ``productions`` maps it to the
+    place instances it created.  Tokens are matched FIFO per place,
+    which is exact for safe nets (at most one token is ever pending per
+    place) and a faithful queueing interpretation otherwise.
+    """
+
+    steps: List[BehaviorStep] = field(default_factory=list)
+    consumptions: Dict[TransitionInstance, Tuple[PlaceInstance, ...]] = field(
+        default_factory=dict
+    )
+    productions: Dict[TransitionInstance, Tuple[PlaceInstance, ...]] = field(
+        default_factory=dict
+    )
+
+    def fired_between(self, start: int, stop: int) -> List[Tuple[int, Tuple[str, ...]]]:
+        """``(time, fired)`` pairs for steps with ``start <= time < stop``."""
+        return [
+            (s.time, s.fired) for s in self.steps if start <= s.time < stop
+        ]
+
+    def firing_counts(self, start: int, stop: int) -> Dict[str, int]:
+        """How many times each transition fires in ``[start, stop)``."""
+        counts: Dict[str, int] = {}
+        for _, fired in self.fired_between(start, stop):
+            for transition in fired:
+                counts[transition] = counts.get(transition, 0) + 1
+        return counts
+
+
+@dataclass
+class CyclicFrustum:
+    """The repeating segment of a behavior graph.
+
+    Attributes mirror the measurement columns of Tables 1 and 2:
+
+    * ``start_time`` — when the initial instantaneous state is first
+      seen (the paper's *start time*);
+    * ``repeat_time`` — when that state recurs (*repeat time*);
+    * ``length`` — ``repeat_time - start_time`` (*length of frustum*),
+      the initiation period ``p`` of the steady-state schedule;
+    * ``firing_counts`` — occurrences of each transition inside the
+      frustum (*transition count*);
+    * ``state`` — the repeated instantaneous state itself.
+    """
+
+    start_time: int
+    repeat_time: int
+    state: InstantaneousState
+    schedule_steps: List[Tuple[int, Tuple[str, ...]]]
+    firing_counts: Dict[str, int]
+
+    @property
+    def length(self) -> int:
+        return self.repeat_time - self.start_time
+
+    def transition_count(self, transition: Optional[str] = None) -> int:
+        """Count for one transition, or the common count when uniform.
+
+        For marked graphs the frustum is a cyclic firing sequence, so by
+        Theorem A.5.3 every transition fires the same number of times;
+        asking for the common count on a non-uniform frustum raises.
+        """
+        if transition is not None:
+            return self.firing_counts.get(transition, 0)
+        counts = set(self.firing_counts.values())
+        if len(counts) != 1:
+            raise SimulationError(
+                "transition counts are not uniform across the frustum; "
+                f"distinct counts: {sorted(counts)}"
+            )
+        return counts.pop()
+
+    def computation_rate(self, transition: str) -> Fraction:
+        """Average firings per time unit inside the frustum — the
+        paper's *computation rate* column."""
+        if self.length == 0:
+            raise SimulationError("empty frustum has no computation rate")
+        return Fraction(self.firing_counts.get(transition, 0), self.length)
+
+    def uniform_rate(self) -> Fraction:
+        """The common computation rate (requires uniform counts)."""
+        return Fraction(self.transition_count(), self.length)
+
+
+class FrustumDetector:
+    """Runs the earliest-firing simulation, records the behavior graph,
+    and stops at the first repeated instantaneous state."""
+
+    def __init__(
+        self,
+        timed_net: TimedPetriNet,
+        initial: Marking,
+        policy: Optional[ConflictResolutionPolicy] = None,
+        record_arcs: bool = True,
+    ) -> None:
+        self.simulator = EarliestFiringSimulator(timed_net, initial, policy)
+        self.record_arcs = record_arcs
+        self.graph = BehaviorGraph()
+        self._seen: Dict[InstantaneousState, int] = {}
+        # FIFO queues of pending token birth times, per place.
+        self._pending: Dict[str, List[int]] = {
+            p: [0] * initial[p] for p in timed_net.net.place_names
+        }
+
+    def _record_step(self, record: StepRecord) -> None:
+        net = self.simulator.net
+        newly_marked: List[str] = []
+        for transition in record.completed:
+            duration = self.simulator.timed_net.duration(transition)
+            start = record.time - duration
+            instance = TransitionInstance(transition, start)
+            produced = []
+            for place in net.output_places(transition):
+                self._pending[place].append(record.time)
+                produced.append(PlaceInstance(place, record.time))
+                newly_marked.append(place)
+            if self.record_arcs:
+                self.graph.productions[instance] = tuple(produced)
+        for transition in record.fired:
+            instance = TransitionInstance(transition, record.time)
+            consumed = []
+            for place in net.input_places(transition):
+                birth = self._pending[place].pop(0)
+                consumed.append(PlaceInstance(place, birth))
+            if self.record_arcs:
+                self.graph.consumptions[instance] = tuple(consumed)
+        self.graph.steps.append(
+            BehaviorStep(
+                record.time, record.fired, tuple(newly_marked), record.state
+            )
+        )
+
+    def detect(self, max_steps: int) -> CyclicFrustum:
+        """Advance until an instantaneous state repeats.
+
+        Raises :class:`SimulationError` on deadlock or when ``max_steps``
+        is exhausted — by Lemma 3.3.2 a repeat always exists for live,
+        safe nets, and the theory bounds it by O(n⁴) time steps, so a
+        generous budget never fires spuriously.
+        """
+        while self.simulator.time <= max_steps:
+            if self.simulator.is_deadlocked():
+                raise SimulationError(
+                    f"net deadlocked at time {self.simulator.time} before a "
+                    "cyclic frustum appeared"
+                )
+            record = self.simulator.step()
+            first_seen = self._seen.get(record.state)
+            if first_seen is not None:
+                return self._build_frustum(first_seen, record.time, record.state)
+            self._seen[record.state] = record.time
+            self._record_step(record)
+        raise SimulationError(
+            f"no repeated instantaneous state within {max_steps} time steps"
+        )
+
+    def _build_frustum(
+        self, start: int, repeat: int, state: InstantaneousState
+    ) -> CyclicFrustum:
+        return CyclicFrustum(
+            start_time=start,
+            repeat_time=repeat,
+            state=state,
+            schedule_steps=self.graph.fired_between(start, repeat),
+            firing_counts=self.graph.firing_counts(start, repeat),
+        )
+
+
+def detect_frustum(
+    timed_net: TimedPetriNet,
+    initial: Marking,
+    policy: Optional[ConflictResolutionPolicy] = None,
+    max_steps: Optional[int] = None,
+) -> Tuple[CyclicFrustum, BehaviorGraph]:
+    """Convenience wrapper: detect the cyclic frustum and return it with
+    the behavior graph that produced it.
+
+    ``max_steps`` defaults to a generous multiple of the theoretical
+    O(n⁴) bound (Theorem 4.1.2), clamped to at least 10,000 steps so
+    tiny nets with long pipelines are not cut short.
+    """
+    if max_steps is None:
+        n = max(1, len(timed_net.net.transition_names))
+        total_duration = sum(timed_net.durations.values())
+        max_steps = max(10_000, 4 * n**4, 16 * total_duration)
+    detector = FrustumDetector(timed_net, initial, policy)
+    frustum = detector.detect(max_steps)
+    return frustum, detector.graph

@@ -1,0 +1,151 @@
+"""Markings and the basic (untimed) firing rule.
+
+A marking is a function ``M : P -> N`` (Appendix A.2).  The class below
+is an immutable mapping with value semantics: two markings compare and
+hash equal iff they assign the same token counts to the same places,
+which is what reachability analysis and frustum detection rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..errors import FiringError, MarkingError
+from .net import PetriNet
+
+__all__ = ["Marking", "enabled_transitions", "fire"]
+
+
+class Marking(Mapping[str, int]):
+    """An immutable token assignment over a net's places.
+
+    Places not mentioned explicitly hold zero tokens.  Construction
+    validates that counts are non-negative and, when a net is supplied,
+    that every place named exists in the net.
+    """
+
+    __slots__ = ("_tokens", "_hash")
+
+    def __init__(
+        self,
+        tokens: Optional[Mapping[str, int]] = None,
+        net: Optional[PetriNet] = None,
+    ) -> None:
+        items: Dict[str, int] = {}
+        if tokens:
+            for place, count in tokens.items():
+                if count < 0:
+                    raise MarkingError(
+                        f"negative token count {count} on place {place!r}"
+                    )
+                if net is not None and not net.has_place(place):
+                    raise MarkingError(f"marking names unknown place {place!r}")
+                if count:
+                    items[place] = count
+        self._tokens: Dict[str, int] = items
+        self._hash: Optional[int] = None
+
+    # Mapping protocol --------------------------------------------------
+    def __getitem__(self, place: str) -> int:
+        return self._tokens.get(place, 0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, place: object) -> bool:
+        return place in self._tokens
+
+    # Value semantics ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Marking):
+            return self._tokens == other._tokens
+        if isinstance(other, Mapping):
+            return self._tokens == {p: c for p, c in other.items() if c}
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._tokens.items()))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{p}:{c}" for p, c in sorted(self._tokens.items()))
+        return f"Marking({{{inner}}})"
+
+    # Arithmetic helpers --------------------------------------------------
+    def total(self) -> int:
+        """Total number of tokens in the marking."""
+        return sum(self._tokens.values())
+
+    def with_delta(self, deltas: Mapping[str, int]) -> "Marking":
+        """Return a new marking with ``deltas`` applied (may be negative);
+        raises :class:`MarkingError` if any count would go negative."""
+        updated = dict(self._tokens)
+        for place, delta in deltas.items():
+            new_count = updated.get(place, 0) + delta
+            if new_count < 0:
+                raise MarkingError(
+                    f"token count on {place!r} would become {new_count}"
+                )
+            if new_count:
+                updated[place] = new_count
+            else:
+                updated.pop(place, None)
+        return Marking(updated)
+
+    def dominates(self, other: "Marking") -> bool:
+        """``self >= other`` pointwise — used for coverability checks."""
+        for place, count in other._tokens.items():
+            if self[place] < count:
+                return False
+        return True
+
+    def strictly_dominates(self, other: "Marking") -> bool:
+        """Pointwise ``>=`` with at least one strict inequality."""
+        return self.dominates(other) and self._tokens != other._tokens
+
+    def restricted_to(self, places: Iterable[str]) -> "Marking":
+        """Projection onto a subset of places."""
+        keep = set(places)
+        return Marking({p: c for p, c in self._tokens.items() if p in keep})
+
+    def as_tuple(self, place_order: Iterable[str]) -> Tuple[int, ...]:
+        """Token counts in a fixed place order (for compact state keys)."""
+        return tuple(self[p] for p in place_order)
+
+
+def enabled_transitions(net: PetriNet, marking: Marking) -> Tuple[str, ...]:
+    """Transitions enabled by ``marking``: every input place holds at
+    least one token (``M -t->`` in the paper's notation).
+
+    The result preserves the net's transition insertion order, which
+    keeps downstream conflict-resolution policies deterministic.
+    """
+    enabled = []
+    for transition in net.transition_names:
+        if all(marking[p] > 0 for p in net.input_places(transition)):
+            enabled.append(transition)
+    return tuple(enabled)
+
+
+def fire(net: PetriNet, marking: Marking, transition: str) -> Marking:
+    """Fire one enabled transition atomically (untimed rule): remove one
+    token from each input place and deposit one on each output place.
+
+    Raises :class:`FiringError` if the transition is not enabled.
+    """
+    inputs = net.input_places(transition)
+    for place in inputs:
+        if marking[place] <= 0:
+            raise FiringError(
+                f"transition {transition!r} is not enabled: place {place!r} empty"
+            )
+    deltas: Dict[str, int] = {}
+    for place in inputs:
+        deltas[place] = deltas.get(place, 0) - 1
+    for place in net.output_places(transition):
+        deltas[place] = deltas.get(place, 0) + 1
+    return marking.with_delta(deltas)

@@ -1,0 +1,116 @@
+"""Reachability analysis for (small) untimed Petri nets.
+
+The paper leans on the *forward marking class* ``M̂`` — the set of
+markings reachable from an initial marking — to define liveness,
+boundedness, safety and persistence (Appendix A.3).  For the bounded
+nets the paper studies (SDSP-PN and SDSP-SCP-PN are live and safe) the
+forward marking class is finite and can be explored exhaustively; this
+module does so with breadth-first search and also detects unboundedness
+by the classic strict-domination (coverability) criterion so that it
+terminates on every input.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import SimulationError
+from .marking import Marking, enabled_transitions, fire
+from .net import PetriNet
+
+__all__ = ["ReachabilityGraph", "explore"]
+
+
+@dataclass
+class ReachabilityGraph:
+    """The explored forward marking class of a net.
+
+    Attributes
+    ----------
+    initial:
+        The initial marking the exploration started from.
+    markings:
+        Every distinct reachable marking found.
+    edges:
+        Triples ``(source_marking, transition, target_marking)``.
+    unbounded:
+        True if exploration found a marking strictly dominating one of
+        its BFS ancestors — a witness that the net is unbounded, in
+        which case ``markings`` is only a truncated sample.
+    truncated:
+        True if the ``max_markings`` budget was hit before exhausting
+        the state space (distinct from proven unboundedness).
+    """
+
+    initial: Marking
+    markings: List[Marking] = field(default_factory=list)
+    edges: List[Tuple[Marking, str, Marking]] = field(default_factory=list)
+    unbounded: bool = False
+    truncated: bool = False
+
+    def successors(self, marking: Marking) -> List[Tuple[str, Marking]]:
+        return [(t, m2) for (m1, t, m2) in self.edges if m1 == marking]
+
+    def transitions_fired(self) -> Set[str]:
+        """The set of transitions that fire somewhere in the explored
+        graph (used by the liveness check)."""
+        return {t for (_, t, _) in self.edges}
+
+    @property
+    def complete(self) -> bool:
+        """True iff the full (finite) forward marking class was explored."""
+        return not (self.unbounded or self.truncated)
+
+    def max_tokens(self, place: str) -> int:
+        """The bound ``N`` for ``place`` over the explored markings."""
+        return max((m[place] for m in self.markings), default=0)
+
+
+def explore(
+    net: PetriNet,
+    initial: Marking,
+    max_markings: int = 100_000,
+) -> ReachabilityGraph:
+    """Breadth-first exploration of the forward marking class.
+
+    Unboundedness detection: along each BFS path we keep the chain of
+    ancestor markings; if a newly produced marking strictly dominates an
+    ancestor, the standard pumping argument shows the net is unbounded
+    and exploration stops with ``unbounded=True``.  (We compare against
+    BFS-tree ancestors only — sound, and sufficient for the structured
+    nets in this project; the full Karp–Miller construction is not
+    needed because all nets we analyse exhaustively are safe.)
+    """
+    graph = ReachabilityGraph(initial=initial)
+    seen: Dict[Marking, int] = {initial: 0}
+    # parent pointers for the ancestor/domination check
+    parent: Dict[Marking, Optional[Marking]] = {initial: None}
+    graph.markings.append(initial)
+    queue = deque([initial])
+
+    while queue:
+        current = queue.popleft()
+        for transition in enabled_transitions(net, current):
+            successor = fire(net, current, transition)
+            is_new = successor not in seen
+            if is_new:
+                # domination check against ancestors of `current`
+                ancestor: Optional[Marking] = current
+                while ancestor is not None:
+                    if successor.strictly_dominates(ancestor):
+                        graph.unbounded = True
+                        graph.edges.append((current, transition, successor))
+                        graph.markings.append(successor)
+                        return graph
+                    ancestor = parent[ancestor]
+                seen[successor] = len(graph.markings)
+                parent[successor] = current
+                graph.markings.append(successor)
+                queue.append(successor)
+            graph.edges.append((current, transition, successor))
+            if len(graph.markings) > max_markings:
+                graph.truncated = True
+                return graph
+    return graph

@@ -1,0 +1,237 @@
+"""Discrete-time simulator for timed Petri nets under the earliest
+firing rule (Assumption A.6.2).
+
+The simulator advances in unit time steps.  Within the step at time
+``u`` it performs, in order:
+
+1. **Completion** — every transition whose firing finishes at ``u``
+   deposits one token on each of its output places.
+2. **Snapshot** — the instantaneous state ``(marking, residual
+   firing-time vector, policy key)`` is captured.  Because the net is
+   deterministic from here on (earliest firing + a deterministic
+   conflict-resolution policy), this snapshot fully determines the
+   future — which is exactly what frustum detection exploits.
+3. **Firing** — the enabled, idle transitions are offered to the
+   conflict-resolution policy; each selected transition consumes one
+   token per input place and is scheduled to complete at
+   ``u + τ``.  Selection is *greedy with re-check*: a transition is
+   fired only if it is still enabled after earlier selections in the
+   same step consumed their tokens, so structural conflicts (the SCP
+   run place) are resolved correctly.
+
+Assumption A.6.1 (non-reentrance) is enforced by keeping at most one
+in-flight firing per transition, equivalent to the paper's implicit
+one-token self-loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .marking import Marking
+from .net import PetriNet
+from .timed import InstantaneousState, TimedPetriNet
+
+__all__ = [
+    "ConflictResolutionPolicy",
+    "FireAllPolicy",
+    "StepRecord",
+    "EarliestFiringSimulator",
+]
+
+
+class ConflictResolutionPolicy:
+    """Interface for deterministic conflict resolution.
+
+    Persistent nets (marked graphs) never present a choice, so the
+    default :class:`FireAllPolicy` fires every candidate.  Nets with
+    structural conflict — the SDSP-SCP-PN — need a real policy; the
+    paper's Assumption 5.2.1 only requires the policy to be a
+    deterministic function of the machine's instantaneous state, which
+    is why :meth:`state_key` feeds into the state hash used for frustum
+    detection.
+    """
+
+    def reset(self) -> None:
+        """Forget all internal state (called when a simulation starts)."""
+
+    def begin_step(self, time: int, marking: Marking, idle: Sequence[str]) -> None:
+        """Observe the post-completion state of the net at ``time``.
+        ``idle`` lists transitions that are not currently in flight."""
+
+    def order(self, candidates: Sequence[str]) -> List[str]:
+        """Return the candidates in the order firing should be
+        attempted.  The simulator re-checks enabledness before each
+        firing, so returning every candidate is always safe."""
+        return list(candidates)
+
+    def notify_fired(self, transition: str) -> None:
+        """Called for each transition actually fired this step."""
+
+    def state_key(self) -> Tuple:
+        """Hashable internal-state summary, merged into the
+        instantaneous state."""
+        return ()
+
+
+class FireAllPolicy(ConflictResolutionPolicy):
+    """Fire every enabled idle transition — the earliest firing rule on
+    a persistent net, where this is the unique maximal choice."""
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What happened during one simulated time step.
+
+    ``state`` is the instantaneous state *after* completions and
+    *before* firings — the canonical snapshot point described in the
+    module docstring.
+    """
+
+    time: int
+    completed: Tuple[str, ...]
+    fired: Tuple[str, ...]
+    state: InstantaneousState
+
+
+class EarliestFiringSimulator:
+    """Step-by-step executor for a :class:`TimedPetriNet`.
+
+    Parameters
+    ----------
+    timed_net:
+        The net with execution times.
+    initial:
+        Initial marking ``M0``.
+    policy:
+        Conflict-resolution policy; defaults to firing everything,
+        which is correct exactly when the net is persistent.
+    """
+
+    def __init__(
+        self,
+        timed_net: TimedPetriNet,
+        initial: Marking,
+        policy: Optional[ConflictResolutionPolicy] = None,
+    ) -> None:
+        self.timed_net = timed_net
+        self.net: PetriNet = timed_net.net
+        self.policy = policy if policy is not None else FireAllPolicy()
+        self._initial = initial
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to time 0 with the initial marking and no in-flight
+        firings."""
+        self.time = 0
+        self.marking = self._initial
+        # transition -> absolute completion time
+        self._in_flight: Dict[str, int] = {}
+        self.total_firings: Dict[str, int] = {
+            t: 0 for t in self.net.transition_names
+        }
+        self.policy.reset()
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> Dict[str, int]:
+        """Copy of the map from busy transitions to completion times."""
+        return dict(self._in_flight)
+
+    def residuals(self) -> Dict[str, int]:
+        """Remaining execution time per busy transition, relative to the
+        current time."""
+        return {t: finish - self.time for t, finish in self._in_flight.items()}
+
+    def snapshot(self) -> InstantaneousState:
+        """Instantaneous state at the canonical point of the current
+        step (post-completion / pre-firing when called from
+        :meth:`step`)."""
+        return InstantaneousState.make(
+            self.marking, self.residuals(), self.policy.state_key()
+        )
+
+    def is_deadlocked(self) -> bool:
+        """No in-flight work and nothing enabled."""
+        return not self._in_flight and not self._enabled_idle()
+
+    def _enabled_idle(self) -> List[str]:
+        enabled = []
+        for transition in self.net.transition_names:
+            if transition in self._in_flight:
+                continue
+            if all(self.marking[p] > 0 for p in self.net.input_places(transition)):
+                enabled.append(transition)
+        return enabled
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> StepRecord:
+        """Advance one time unit; see the module docstring for the
+        intra-step ordering."""
+        now = self.time
+
+        # 1. completions
+        completed = tuple(
+            sorted(t for t, finish in self._in_flight.items() if finish == now)
+        )
+        if completed:
+            deltas: Dict[str, int] = {}
+            for transition in completed:
+                del self._in_flight[transition]
+                for place in self.net.output_places(transition):
+                    deltas[place] = deltas.get(place, 0) + 1
+            self.marking = self.marking.with_delta(deltas)
+
+        # 2. snapshot (also lets the policy observe the state)
+        idle = [
+            t for t in self.net.transition_names if t not in self._in_flight
+        ]
+        self.policy.begin_step(now, self.marking, idle)
+        state = self.snapshot()
+
+        # 3. firings, greedy with re-check in policy order
+        candidates = self._enabled_idle()
+        fired: List[str] = []
+        for transition in self.policy.order(candidates):
+            if transition in self._in_flight:
+                continue
+            inputs = self.net.input_places(transition)
+            if not all(self.marking[p] > 0 for p in inputs):
+                continue  # lost a structural conflict earlier this step
+            self.marking = self.marking.with_delta({p: -1 for p in inputs})
+            self._in_flight[transition] = now + self.timed_net.duration(transition)
+            self.total_firings[transition] += 1
+            self.policy.notify_fired(transition)
+            fired.append(transition)
+
+        self.time = now + 1
+        return StepRecord(now, completed, tuple(fired), state)
+
+    def run(
+        self,
+        max_steps: int,
+        stop: Optional[Callable[[StepRecord], bool]] = None,
+    ) -> List[StepRecord]:
+        """Run up to ``max_steps`` steps, stopping early on deadlock or
+        when ``stop(record)`` returns True.  Raises
+        :class:`SimulationError` if a stop condition was requested but
+        never met within the budget."""
+        records: List[StepRecord] = []
+        for _ in range(max_steps):
+            if self.is_deadlocked():
+                return records
+            record = self.step()
+            records.append(record)
+            if stop is not None and stop(record):
+                return records
+        if stop is not None:
+            raise SimulationError(
+                f"stop condition not reached within {max_steps} steps"
+            )
+        return records

@@ -1,0 +1,154 @@
+"""Timed Petri nets and instantaneous states (Appendix A.6).
+
+A timed Petri net is a pair ``(PN, Ω)`` where ``Ω`` assigns each
+transition a non-negative integer *execution time* (Ramchandani's
+deterministic timing).  During execution a transition may be mid-firing,
+so a marking alone no longer determines the future: the paper pairs the
+marking with a *residual firing-time vector* ``R`` recording the
+remaining execution time of each in-flight transition, and calls the
+pair an **instantaneous state**.
+
+Two standing assumptions of the paper are honoured here:
+
+* **A.6.1 (non-reentrance)** — two firings of one transition never
+  overlap.  The paper models this with an implicit one-token self-loop
+  per transition; :meth:`TimedPetriNet.with_explicit_self_loops`
+  materialises those loops for theory-level experiments, while the
+  simulator enforces the same constraint directly.
+* **A.6.2 (earliest firing rule)** — transitions fire as soon as they
+  are enabled; this is what the simulator implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import NetConstructionError
+from .marking import Marking
+from .net import PetriNet
+
+__all__ = ["TimedPetriNet", "InstantaneousState"]
+
+
+class TimedPetriNet:
+    """A Petri net together with integer transition execution times.
+
+    ``durations`` maps every transition name to its execution time
+    ``τ >= 1``.  (The paper permits ``τ = 0``; the series-expansion
+    construction in :mod:`repro.core.scp` never produces zero-time
+    transitions — when the pipeline has a single stage the dummy
+    transitions are omitted — so the simulator can assume progress at
+    every step.  We enforce ``τ >= 1`` here to keep that invariant
+    visible.)
+    """
+
+    def __init__(self, net: PetriNet, durations: Mapping[str, int]) -> None:
+        for transition in net.transition_names:
+            if transition not in durations:
+                raise NetConstructionError(
+                    f"no execution time given for transition {transition!r}"
+                )
+        for transition, duration in durations.items():
+            if not net.has_transition(transition):
+                raise NetConstructionError(
+                    f"duration names unknown transition {transition!r}"
+                )
+            if duration < 1:
+                raise NetConstructionError(
+                    f"execution time of {transition!r} must be >= 1, got "
+                    f"{duration}"
+                )
+        self.net = net
+        self.durations: Dict[str, int] = dict(durations)
+
+    @classmethod
+    def unit(cls, net: PetriNet) -> "TimedPetriNet":
+        """All execution times equal to one cycle — the setting of the
+        paper's examples and Livermore experiments."""
+        return cls(net, {t: 1 for t in net.transition_names})
+
+    def duration(self, transition: str) -> int:
+        return self.durations[transition]
+
+    def with_explicit_self_loops(self) -> "TimedPetriNet":
+        """Materialise Assumption A.6.1's implicit self-loops.
+
+        Each transition ``t`` gains a private place ``selfloop[t]`` with
+        one token, consumed while ``t`` executes.  Behaviour under the
+        earliest firing rule is identical to the simulator's built-in
+        non-reentrance; this form exists so the structural theorems
+        (e.g. safety of the SDSP-PN) can be checked on the literal net
+        of the paper.
+        """
+        clone = self.net.copy(self.net.name + "+selfloops")
+        for transition in self.net.transition_names:
+            loop_place = f"selfloop[{transition}]"
+            clone.add_place(loop_place, annotation="selfloop")
+            clone.add_arc(loop_place, transition)
+            clone.add_arc(transition, loop_place)
+        return TimedPetriNet(clone, self.durations)
+
+    def self_loop_marking(self, base: Marking) -> Marking:
+        """Extend ``base`` with one token on every explicit self-loop
+        place (companion to :meth:`with_explicit_self_loops`)."""
+        extra = {
+            f"selfloop[{t}]": 1
+            for t in self.net.transition_names
+            if self.net.has_place(f"selfloop[{t}]")
+        }
+        if not extra:
+            extra = {}
+        merged = dict(base)
+        merged.update(extra)
+        return Marking(merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimedPetriNet({self.net!r})"
+
+
+@dataclass(frozen=True)
+class InstantaneousState:
+    """The pair ``(marking, residual firing-time vector)`` of Appendix
+    A.6, extended with an opaque ``policy_key``.
+
+    * ``marking`` — tokens at this instant (after all completions due at
+      this time have deposited their outputs and before new firings
+      start; the paper's Figure 1(e) highlights states at exactly such
+      instants, where the residual vector is all-zero).
+    * ``residuals`` — for each in-flight transition, its remaining
+      execution time (absent = idle).  Stored as a sorted tuple for
+      value-semantics hashing.
+    * ``policy_key`` — state of the conflict-resolution policy, if any.
+      Assumption 5.2.1 requires the machine's choices to be a function
+      of its instantaneous state; a policy with internal memory (e.g.
+      the FIFO queue of the SCP machine) contributes that memory to the
+      state so that a repeated :class:`InstantaneousState` really does
+      imply repeated behaviour.  For persistent nets it is ``()``.
+    """
+
+    marking: Marking
+    residuals: Tuple[Tuple[str, int], ...]
+    policy_key: Tuple = ()
+
+    @classmethod
+    def make(
+        cls,
+        marking: Marking,
+        residuals: Mapping[str, int],
+        policy_key: Tuple = (),
+    ) -> "InstantaneousState":
+        packed = tuple(sorted((t, r) for t, r in residuals.items() if r > 0))
+        return cls(marking, packed, policy_key)
+
+    @property
+    def is_quiescent(self) -> bool:
+        """True when no transition is mid-firing (all-zero residual
+        vector) — the form of the frustum endpoints in Figure 1(e)."""
+        return not self.residuals
+
+    def residual_of(self, transition: str) -> int:
+        for name, remaining in self.residuals:
+            if name == transition:
+                return remaining
+        return 0

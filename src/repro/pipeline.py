@@ -1,0 +1,144 @@
+"""End-to-end convenience pipeline: loop text in, verified schedule out.
+
+This wraps the full flow of the paper:
+
+1. parse the loop (``repro.loops.parser``);
+2. dependence analysis + lowering to a static dataflow graph
+   (``repro.loops``);
+3. SDSP-PN construction (``repro.core.sdsp_pn``), optionally the
+   SDSP-SCP-PN resource model (``repro.core.scp``);
+4. behavior-graph simulation under the earliest firing rule and
+   cyclic-frustum detection (``repro.petrinet.behavior``);
+5. schedule derivation (``repro.core.schedule``) and — unless disabled
+   — verification of dependences, resources and optimality
+   (``repro.core.verify``).
+
+Each stage's artifact is exposed on the result object so callers can
+drop down to any layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Optional
+
+from .core.bounds import theoretical_bounds, TheoreticalBounds
+from .core.rate import optimal_rate, pipeline_utilization, scp_rate_upper_bound
+from .core.schedule import PipelinedSchedule, derive_schedule
+from .core.scp import SdspScpNet, build_sdsp_scp_pn
+from .core.sdsp_pn import SdspPetriNet, build_sdsp_pn
+from .core.verify import verify_schedule
+from .loops.parser import parse_loop
+from .loops.translate import TranslationResult, translate
+from .machine.policies import FifoRunPlacePolicy
+from .petrinet.behavior import BehaviorGraph, CyclicFrustum, detect_frustum
+
+__all__ = ["CompiledLoop", "compile_loop"]
+
+
+@dataclass
+class CompiledLoop:
+    """Every artifact of one compilation.
+
+    ``scp``/``scp_frustum``/``scp_schedule`` are None unless a pipeline
+    depth was requested.
+    """
+
+    translation: TranslationResult
+    pn: SdspPetriNet
+    frustum: CyclicFrustum
+    behavior: BehaviorGraph
+    schedule: PipelinedSchedule
+    bounds: TheoreticalBounds
+    scp: Optional[SdspScpNet] = None
+    scp_frustum: Optional[CyclicFrustum] = None
+    scp_behavior: Optional[BehaviorGraph] = None
+    scp_schedule: Optional[PipelinedSchedule] = None
+
+    @property
+    def optimal_rate(self) -> Fraction:
+        """The time-optimal computation rate the ideal model achieves."""
+        return optimal_rate(self.pn)
+
+    @property
+    def scp_utilization(self) -> Optional[Fraction]:
+        if self.scp is None or self.scp_frustum is None:
+            return None
+        return pipeline_utilization(self.scp, self.scp_frustum)
+
+
+def compile_loop(
+    source: str,
+    scalars: Optional[Mapping[str, float]] = None,
+    pipeline_stages: Optional[int] = None,
+    include_io: bool = True,
+    verify: bool = True,
+    verify_iterations: int = 12,
+) -> CompiledLoop:
+    """Compile loop source text through the whole pipeline.
+
+    Parameters
+    ----------
+    source:
+        Loop text in the frontend syntax (see
+        :mod:`repro.loops.parser`).
+    scalars:
+        Values for loop-invariant scalars (become immediates).
+    pipeline_stages:
+        If given, also build the SDSP-SCP-PN for a clean pipeline of
+        that depth and derive its resource-constrained schedule.
+    include_io:
+        A-code mode (loads/stores are instructions) when True; the
+        paper-figure abstract mode when False.
+    verify:
+        Replay the derived schedules against dependences, resources and
+        the optimal rate; raises :class:`repro.errors.ScheduleError` on
+        any violation.
+    """
+    loop = parse_loop(source)
+    translation = translate(loop, scalars)
+    pn = build_sdsp_pn(translation.graph, include_io=include_io)
+
+    frustum, behavior = detect_frustum(pn.timed, pn.initial)
+    schedule = derive_schedule(frustum, behavior)
+    if verify:
+        verify_schedule(
+            pn,
+            schedule,
+            iterations=verify_iterations,
+            expected_rate=optimal_rate(pn),
+        ).require()
+
+    result = CompiledLoop(
+        translation=translation,
+        pn=pn,
+        frustum=frustum,
+        behavior=behavior,
+        schedule=schedule,
+        bounds=theoretical_bounds(pn),
+    )
+
+    if pipeline_stages is not None:
+        scp = build_sdsp_scp_pn(pn, pipeline_stages)
+        policy = FifoRunPlacePolicy(scp.net, scp.run_place, scp.priority_order())
+        scp_frustum, scp_behavior = detect_frustum(
+            scp.timed, scp.initial, policy
+        )
+        scp_schedule = derive_schedule(
+            scp_frustum, scp_behavior, instructions=scp.sdsp_transitions
+        )
+        if verify:
+            verify_schedule(
+                pn,
+                scp_schedule,
+                iterations=verify_iterations,
+                capacity=1,
+                latency_of=lambda t: pipeline_stages,
+            ).require()
+        result.scp = scp
+        result.scp_frustum = scp_frustum
+        result.scp_behavior = scp_behavior
+        result.scp_schedule = scp_schedule
+
+    return result

@@ -1,0 +1,22 @@
+"""Reporting: text tables for the benchmark harness and ASCII
+renderings of the paper's figures."""
+
+from .tables import format_cell, render_table
+from .render import (
+    render_behavior_graph,
+    render_dataflow_graph,
+    render_petri_net,
+    render_schedule,
+)
+from .dot import dataflow_to_dot, petri_net_to_dot
+
+__all__ = [
+    "format_cell",
+    "render_table",
+    "render_behavior_graph",
+    "render_dataflow_graph",
+    "render_petri_net",
+    "render_schedule",
+    "dataflow_to_dot",
+    "petri_net_to_dot",
+]

@@ -1,0 +1,97 @@
+"""Graphviz DOT export for dataflow graphs and Petri nets.
+
+The ASCII renderings in :mod:`repro.report.render` are the canonical
+(testable) figure artifacts; this module additionally emits DOT so the
+nets can be drawn with graphviz — useful when exploring larger loops.
+The output is plain text with no graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from ..dataflow.graph import DataflowGraph
+from ..petrinet.marking import Marking
+from ..petrinet.net import PetriNet
+
+__all__ = ["dataflow_to_dot", "petri_net_to_dot"]
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def dataflow_to_dot(graph: DataflowGraph) -> str:
+    """Dataflow graph as DOT: boxes for instructions, dashed edges for
+    feedback (loop-carried) arcs, port labels on multi-operand nodes."""
+    lines: List[str] = [f"digraph {_quote(graph.name)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append("  node [shape=box, fontname=monospace];")
+    for actor in graph.actors:
+        label = f"{actor.name}\\n{actor.label}"
+        shape = {
+            "load": "invhouse",
+            "store": "house",
+            "sink": "point",
+            "switch": "diamond",
+            "merge": "invtriangle",
+        }.get(actor.kind.value, "box")
+        lines.append(
+            f"  {_quote(actor.name)} [label={_quote(label)}, shape={shape}];"
+        )
+    for arc in graph.arcs:
+        attributes = []
+        if arc.is_feedback:
+            attributes.append("style=dashed")
+            attributes.append('color="firebrick"')
+            attributes.append(f'label="d={arc.initial_tokens}"')
+        if arc.source_port:
+            attributes.append('taillabel="F"')
+        joined = ", ".join(attributes)
+        suffix = f" [{joined}]" if joined else ""
+        lines.append(
+            f"  {_quote(arc.source)} -> {_quote(arc.target)}{suffix};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def petri_net_to_dot(
+    net: PetriNet,
+    marking: Optional[Marking] = None,
+    durations: Optional[Mapping[str, int]] = None,
+) -> str:
+    """Petri net as DOT: bars (boxes) for transitions, circles for
+    places with their token counts, per the paper's drawing style."""
+    lines: List[str] = [f"digraph {_quote(net.name)} {{"]
+    lines.append("  rankdir=TB;")
+    for transition in net.transitions:
+        duration = durations.get(transition.name) if durations else None
+        label = transition.name
+        if duration is not None and duration != 1:
+            label += f"\\ntau={duration}"
+        style = (
+            'style=filled, fillcolor="lightgrey"'
+            if transition.annotation == "dummy"
+            else ""
+        )
+        attributes = f'label={_quote(label)}, shape=box, height=0.2'
+        if style:
+            attributes += f", {style}"
+        lines.append(f"  {_quote(transition.name)} [{attributes}];")
+    for place in net.places:
+        tokens = marking[place.name] if marking is not None else 0
+        dot = "&bull;" * tokens if tokens <= 3 else f"{tokens}"
+        label = dot if tokens else ""
+        color = {"ack": "steelblue", "run": "darkorange"}.get(
+            place.annotation, "black"
+        )
+        lines.append(
+            f"  {_quote(place.name)} [label={_quote(label)}, shape=circle, "
+            f"color={_quote(color)}];"
+        )
+    for source, target in sorted(net.arcs):
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines)

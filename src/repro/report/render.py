@@ -1,0 +1,130 @@
+"""ASCII renderings of the paper's figures.
+
+Figures 1–4 of the paper are diagrams of dataflow graphs, Petri nets,
+behavior graphs, steady-state nets and schedules; the figure benches
+regenerate them as structured text so the reproduction is reviewable in
+a terminal and diffable in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..dataflow.graph import DataflowGraph
+from ..petrinet.behavior import BehaviorGraph, CyclicFrustum
+from ..petrinet.marking import Marking
+from ..petrinet.net import PetriNet
+
+__all__ = [
+    "render_dataflow_graph",
+    "render_petri_net",
+    "render_behavior_graph",
+    "render_schedule",
+]
+
+
+def render_dataflow_graph(graph: DataflowGraph) -> str:
+    """One line per actor: operation, operands, consumers; feedback
+    arcs flagged with ``(carried)``."""
+    lines = [f"dataflow graph {graph.name!r} ({len(graph)} actors)"]
+    for actor in graph.actors:
+        inputs = []
+        for arc in graph.in_arcs(actor.name):
+            marker = " (carried)" if arc.is_feedback else ""
+            inputs.append(f"{arc.source}{marker}")
+        outputs = [arc.target for arc in graph.out_arcs(actor.name)]
+        described = actor.label
+        lines.append(
+            f"  {actor.name}: {described}"
+            + (f"  <- {', '.join(inputs)}" if inputs else "")
+            + (f"  -> {', '.join(outputs)}" if outputs else "")
+        )
+    return "\n".join(lines)
+
+
+def render_petri_net(
+    net: PetriNet,
+    marking: Optional[Marking] = None,
+    durations: Optional[Mapping[str, int]] = None,
+) -> str:
+    """Transitions with execution times, then places as
+    ``producer -(tokens)-> consumer`` rows grouped by annotation."""
+    lines = [
+        f"petri net {net.name!r}: {len(net.transition_names)} transitions, "
+        f"{len(net.place_names)} places"
+    ]
+    for transition in net.transitions:
+        duration = durations.get(transition.name) if durations else None
+        suffix = f" (tau={duration})" if duration is not None else ""
+        kind = f" [{transition.annotation}]" if transition.annotation else ""
+        lines.append(f"  t {transition.name}{kind}{suffix}")
+    for place in net.places:
+        producers = ",".join(net.input_transitions(place.name)) or "(source)"
+        consumers = ",".join(net.output_transitions(place.name)) or "(sink)"
+        tokens = marking[place.name] if marking is not None else 0
+        dot = "*" * tokens if tokens else ""
+        kind = f" [{place.annotation}]" if place.annotation else ""
+        lines.append(
+            f"  p {place.name}{kind}: {producers} -({dot})-> {consumers}"
+        )
+    return "\n".join(lines)
+
+
+def render_behavior_graph(
+    behavior: BehaviorGraph,
+    frustum: Optional[CyclicFrustum] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Time-step levels: fired transitions and newly marked places,
+    with the frustum's initial/terminal instantaneous states marked as
+    in Figure 1(e)."""
+    lines = ["behavior graph (time: fired | newly marked)"]
+    for step in behavior.steps[: limit if limit is not None else len(behavior.steps)]:
+        flags = ""
+        if frustum is not None:
+            if step.time == frustum.start_time:
+                flags = "   <== initial instantaneous state"
+            elif step.time == frustum.repeat_time:
+                flags = "   <== terminal instantaneous state"
+        fired = " ".join(step.fired) if step.fired else "-"
+        marked = " ".join(step.newly_marked) if step.newly_marked else "-"
+        lines.append(f"  {step.time:4d}: {fired:<40} | {marked}{flags}")
+    if frustum is not None and (
+        limit is None or frustum.repeat_time < len(behavior.steps)
+    ):
+        lines.append(
+            f"  cyclic frustum: [{frustum.start_time}, {frustum.repeat_time})"
+            f" length {frustum.length}"
+        )
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: "object") -> str:
+    """Figure 1(g)-style listing: prologue rows then the repeating
+    kernel with per-instruction iteration offsets."""
+    from ..core.schedule import PipelinedSchedule
+
+    assert isinstance(schedule, PipelinedSchedule)
+    lines = [
+        "software-pipelined schedule: "
+        f"II={schedule.initiation_interval}, "
+        f"iterations/kernel={schedule.iterations_per_kernel}, "
+        f"rate={schedule.rate}"
+    ]
+    if schedule.prologue:
+        lines.append("  prologue:")
+        by_time: Dict[int, List[str]] = {}
+        for op in schedule.prologue:
+            by_time.setdefault(op.time, []).append(
+                f"{op.instruction}[{op.iteration}]"
+            )
+        for time in sorted(by_time):
+            lines.append(f"    {time:4d}: " + "  ".join(sorted(by_time[time])))
+    lines.append("  kernel (repeats every II cycles; i = kernel instance):")
+    for relative, entries in schedule.kernel_rows():
+        cells = "  ".join(
+            f"{name}[i*{schedule.iterations_per_kernel}+{base}]"
+            for name, base in sorted(entries)
+        )
+        lines.append(f"    +{relative:3d}: {cells}")
+    return "\n".join(lines)

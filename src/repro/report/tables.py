@@ -1,0 +1,69 @@
+"""Aligned text tables for the benchmark harness.
+
+The benches print Tables 1 and 2 (and the extra studies) in the same
+row/column structure as the paper; this module is the tiny formatting
+layer they share.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["format_cell", "render_table"]
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: fractions as ``p/q``, floats to 3 decimals,
+    booleans as yes/no, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Column widths fit the widest cell; numeric-looking cells are
+    right-aligned, text left-aligned.
+    """
+    text_rows: List[List[str]] = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        stripped = text.replace("/", "").replace(".", "").replace("-", "")
+        return stripped.isdigit() and bool(stripped)
+
+    def align(cell: str, width: int) -> str:
+        if is_numeric(cell):
+            return cell.rjust(width)
+        return cell.ljust(width)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(align(c, w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

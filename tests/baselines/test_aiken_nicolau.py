@@ -1,0 +1,91 @@
+"""The Aiken–Nicolau greedy pattern baseline."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import DependenceGraph, aiken_nicolau_schedule
+from repro.core import build_sdsp_pn
+from repro.errors import AnalysisError
+from repro.loops import KERNELS
+
+
+def graph_for(key):
+    return DependenceGraph.from_sdsp_pn(
+        build_sdsp_pn(KERNELS[key].translation().graph)
+    )
+
+
+class TestDoallLoops:
+    def test_unbounded_rate_on_doall(self):
+        pattern = aiken_nicolau_schedule(graph_for("loop1"))
+        assert pattern.period == 0
+        assert pattern.rate is None
+
+    def test_all_iterations_start_simultaneously(self):
+        pattern = aiken_nicolau_schedule(graph_for("loop12"))
+        for node, slope in pattern.slopes.items():
+            assert slope == 0
+
+
+class TestLcdLoops:
+    def test_loop5_rate_is_recurrence_bound(self):
+        """X = Z*(Y - X[i-1]): 2-op recurrence, greedy rate 1/2."""
+        pattern = aiken_nicolau_schedule(graph_for("loop5"))
+        assert pattern.rate == Fraction(1, 2)
+
+    def test_loop11_rate_one(self):
+        """X = X[i-1] + Y: 1-op recurrence, one iteration per cycle."""
+        pattern = aiken_nicolau_schedule(graph_for("loop11"))
+        assert pattern.rate == Fraction(1, 1)
+
+    def test_l2_rate_one_third(self, l2_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract)
+        pattern = aiken_nicolau_schedule(graph)
+        assert pattern.rate == Fraction(1, 3)
+
+    def test_source_nodes_have_slope_zero(self):
+        pattern = aiken_nicolau_schedule(graph_for("loop5"))
+        loads = [n for n in pattern.slopes if n.startswith("ld_")]
+        assert loads
+        assert all(pattern.slopes[n] == 0 for n in loads)
+
+    def test_recurrence_nodes_have_positive_slope(self):
+        pattern = aiken_nicolau_schedule(graph_for("loop5"))
+        assert pattern.slopes["X"] == 2
+
+
+class TestPatternStructure:
+    def test_start_times_respect_dependences(self, l2_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract)
+        pattern = aiken_nicolau_schedule(graph)
+        for edge in graph.edges:
+            for i in range(edge.distance, pattern.iterations_computed):
+                assert (
+                    pattern.start_times[edge.target][i]
+                    >= pattern.start_times[edge.source][i - edge.distance]
+                    + graph.latencies[edge.source]
+                )
+
+    def test_start_of_extends_pattern(self, l2_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract)
+        pattern = aiken_nicolau_schedule(graph)
+        far = pattern.iterations_computed + 10
+        delta = pattern.start_of("E", far + 1) - pattern.start_of("E", far)
+        assert delta == pattern.slopes["E"]
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AnalysisError, match="empty"):
+            aiken_nicolau_schedule(DependenceGraph({}, []))
+
+    def test_budget_exhaustion(self, l2_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract)
+        with pytest.raises(AnalysisError, match="no periodic pattern"):
+            aiken_nicolau_schedule(graph, max_iterations=2)
+
+    def test_pattern_found_quickly_in_practice(self, l2_pn_abstract):
+        """Mirrors the paper's observation that real loops stabilise in
+        O(n) — far below the O(n²) worst case."""
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract)
+        pattern = aiken_nicolau_schedule(graph)
+        assert pattern.iterations_computed <= 2 * graph.size

@@ -1,0 +1,67 @@
+"""The dependence-graph abstraction under the baselines."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import DepEdge, DependenceGraph
+from repro.core import build_sdsp_pn
+from repro.errors import AnalysisError
+from repro.loops import KERNELS
+
+
+class TestConstruction:
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown"):
+            DependenceGraph({"a": 1}, [DepEdge("a", "ghost", 0)])
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(AnalysisError, match="negative"):
+            DependenceGraph({"a": 1}, [DepEdge("a", "a", -1)])
+
+    def test_from_sdsp_pn_keeps_data_arcs_only(self, l2_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract)
+        assert graph.size == 5
+        # 5 forward + 1 feedback data arcs, no acks
+        assert len(graph.edges) == 6
+        assert sum(e.distance for e in graph.edges) == 1
+
+    def test_latency_override(self, l2_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract, latency=8)
+        assert set(graph.latencies.values()) == {8}
+
+
+class TestAnalyses:
+    def test_recurrence_mii_matches_pn_recurrence(self, l2_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract)
+        # C -> D -> E -> C: latency 3 over distance 1
+        assert graph.recurrence_mii() == Fraction(3, 1)
+
+    def test_acyclic_recurrence_mii_zero(self, l1_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l1_pn_abstract)
+        assert graph.recurrence_mii() == 0
+
+    def test_zero_distance_cycle_rejected(self):
+        graph = DependenceGraph(
+            {"a": 1, "b": 1},
+            [DepEdge("a", "b", 0), DepEdge("b", "a", 0)],
+        )
+        with pytest.raises(AnalysisError, match="zero-distance"):
+            graph.recurrence_mii()
+
+    def test_resource_mii(self, l1_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l1_pn_abstract)
+        assert graph.resource_mii(1) == 5
+        assert graph.resource_mii(2) == 3
+        with pytest.raises(AnalysisError):
+            graph.resource_mii(0)
+
+    def test_critical_path(self, l1_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l1_pn_abstract)
+        # A -> B -> D -> E: 4 unit latencies
+        assert graph.critical_path() == 4
+
+    def test_predecessors_successors(self, l2_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l2_pn_abstract)
+        assert {e.source for e in graph.predecessors("D")} == {"B", "C"}
+        assert {e.target for e in graph.successors("A")} == {"B", "C"}

@@ -1,0 +1,69 @@
+"""Classic list scheduling."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import DependenceGraph, list_schedule
+from repro.core import build_sdsp_pn
+from repro.errors import AnalysisError
+from repro.loops import KERNELS
+
+
+def graph_for(key):
+    return DependenceGraph.from_sdsp_pn(
+        build_sdsp_pn(KERNELS[key].translation().graph)
+    )
+
+
+class TestListSchedule:
+    def test_single_unit_unit_latency_makespan_is_n(self):
+        graph = graph_for("loop12")  # 4 instructions, shallow DAG
+        schedule = list_schedule(graph, units=1)
+        assert schedule.makespan == graph.size
+        assert schedule.rate == Fraction(1, graph.size)
+
+    def test_wide_machine_hits_critical_path(self, l1_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l1_pn_abstract)
+        schedule = list_schedule(graph, units=8)
+        assert schedule.makespan == graph.critical_path()
+
+    def test_dependences_respected(self, l1_pn_abstract):
+        graph = DependenceGraph.from_sdsp_pn(l1_pn_abstract)
+        schedule = list_schedule(graph, units=2)
+        for edge in graph.edges:
+            if edge.distance:
+                continue
+            assert (
+                schedule.start_times[edge.target]
+                >= schedule.start_times[edge.source] + graph.latencies[edge.source]
+            )
+
+    def test_unit_capacity_respected(self):
+        graph = graph_for("loop7")
+        schedule = list_schedule(graph, units=2)
+        per_cycle = {}
+        for start in schedule.start_times.values():
+            per_cycle[start] = per_cycle.get(start, 0) + 1
+        assert max(per_cycle.values()) <= 2
+
+    def test_latency_override_stretches_makespan(self):
+        graph = graph_for("loop5")
+        fast = list_schedule(graph, units=1, latency=1)
+        slow = list_schedule(graph, units=1, latency=8)
+        assert slow.makespan > fast.makespan
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(AnalysisError):
+            list_schedule(graph_for("loop5"), units=0)
+
+    def test_ii_is_makespan(self):
+        schedule = list_schedule(graph_for("loop5"), units=1, latency=4)
+        assert schedule.initiation_interval == schedule.makespan
+
+    def test_non_pipelined_ii_worse_than_pn_schedule(self, l1_pn_abstract):
+        """The point of software pipelining: back-to-back iterations
+        (II = makespan) lose to the overlapped PN schedule (II = 2)."""
+        graph = DependenceGraph.from_sdsp_pn(l1_pn_abstract)
+        schedule = list_schedule(graph, units=8)
+        assert schedule.initiation_interval > 2

@@ -1,0 +1,80 @@
+"""Iterative modulo scheduling."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import DependenceGraph, modulo_schedule
+from repro.core import build_sdsp_pn
+from repro.errors import AnalysisError
+from repro.loops import KERNELS
+
+
+def graph_for(key):
+    return DependenceGraph.from_sdsp_pn(
+        build_sdsp_pn(KERNELS[key].translation().graph)
+    )
+
+
+class TestMii:
+    def test_res_mii_dominates_on_doall(self):
+        graph = graph_for("loop1")  # 9 instructions, no recurrence
+        schedule = modulo_schedule(graph, units=1)
+        assert schedule.res_mii == 9
+        assert schedule.rec_mii == 0
+        assert schedule.mii == 9
+
+    def test_rec_mii_dominates_with_long_latency(self):
+        graph = graph_for("loop5")  # 2-op recurrence
+        schedule = modulo_schedule(graph, units=8, latency=8)
+        assert schedule.rec_mii == Fraction(16, 1)
+        assert schedule.mii == 16
+
+
+class TestScheduleValidity:
+    @pytest.mark.parametrize("key", ["loop1", "loop5", "loop11", "loop12"])
+    @pytest.mark.parametrize("latency", [1, 4])
+    def test_all_constraints_satisfied(self, key, latency):
+        graph = graph_for(key)
+        schedule = modulo_schedule(graph, units=1, latency=latency)
+        ii = schedule.initiation_interval
+        # dependences (spanning iterations)
+        for edge in graph.edges:
+            assert (
+                schedule.start_times[edge.target] + edge.distance * ii
+                >= schedule.start_times[edge.source] + latency
+            )
+        # modulo resource
+        slots = [start % ii for start in schedule.start_times.values()]
+        assert len(slots) == len(set(slots))
+
+    def test_start_of_advances_by_ii(self):
+        schedule = modulo_schedule(graph_for("loop12"), units=1)
+        ii = schedule.initiation_interval
+        assert schedule.start_of("X", 3) - schedule.start_of("X", 2) == ii
+
+    def test_achieves_mii_on_simple_loops(self):
+        schedule = modulo_schedule(graph_for("loop12"), units=1)
+        assert schedule.achieves_mii
+
+    def test_rate(self):
+        schedule = modulo_schedule(graph_for("loop12"), units=1)
+        assert schedule.rate == Fraction(1, schedule.initiation_interval)
+
+    def test_budget_exhaustion_raises(self):
+        graph = graph_for("loop5")
+        with pytest.raises(AnalysisError, match="no modulo schedule"):
+            modulo_schedule(graph, units=1, latency=8, max_ii=1)
+
+
+class TestComparisonShape:
+    def test_modulo_ii_between_mii_and_list_schedule(self):
+        """Modulo scheduling sits between the lower bound and the
+        non-pipelined baseline."""
+        from repro.baselines import list_schedule
+
+        graph = graph_for("loop7")
+        modulo = modulo_schedule(graph, units=1, latency=8)
+        listed = list_schedule(graph, units=1, latency=8)
+        assert modulo.mii <= modulo.initiation_interval
+        assert modulo.initiation_interval <= listed.initiation_interval

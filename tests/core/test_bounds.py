@@ -1,0 +1,69 @@
+"""Theoretical and observed detection bounds (Sections 4 and 5)."""
+
+import pytest
+
+from repro.core import (
+    build_sdsp_pn,
+    build_sdsp_scp_pn,
+    measure_detection,
+    observed_bound_scp,
+    observed_bound_sdsp,
+    theoretical_bounds,
+)
+from repro.loops import KERNELS
+from repro.machine import FifoRunPlacePolicy
+
+
+class TestTheoreticalBounds:
+    def test_single_critical_cycle_case(self, l2_pn_abstract):
+        bounds = theoretical_bounds(l2_pn_abstract)
+        # L2 has the unique critical cycle CDEC
+        assert bounds.case == "single"
+        assert bounds.iteration_bound == bounds.n**3
+        assert bounds.step_bound == bounds.n**4
+        assert bounds.covers_all_transitions
+
+    def test_multiple_critical_cycles_case(self, l1_pn_abstract):
+        bounds = theoretical_bounds(l1_pn_abstract)
+        # every data/ack pair of L1 is a critical 2-cycle
+        assert bounds.case == "multiple"
+        assert bounds.iteration_bound == bounds.n**2
+        assert bounds.step_bound == bounds.n**3
+        assert not bounds.covers_all_transitions
+
+    def test_observed_bound_formulas(self):
+        assert observed_bound_sdsp(10) == 20
+        assert observed_bound_scp(10, 8, 5) == 2 * 8 * 5 + 40
+
+
+class TestMeasurement:
+    @pytest.mark.parametrize("key", sorted(KERNELS))
+    def test_detection_within_2n_paper_claim(self, key):
+        """Section 5: 'in each example the repeated instantaneous state
+        is found within 2n time steps' — the headline O(n) result."""
+        pn = build_sdsp_pn(KERNELS[key].translation().graph)
+        measurement, frustum = measure_detection(pn)
+        assert measurement.within_observed_bound, (
+            f"{key}: repeat {measurement.repeat_time} > "
+            f"BD {measurement.observed_bound}"
+        )
+        assert measurement.repeat_time <= measurement.step_bound_theory
+
+    @pytest.mark.parametrize("key", ["loop1", "loop5", "loop7", "loop12"])
+    def test_scp_detection_within_calibrated_bound(self, key):
+        pn = build_sdsp_pn(KERNELS[key].translation().graph)
+        scp = build_sdsp_scp_pn(pn, stages=8)
+        policy = FifoRunPlacePolicy(
+            scp.net, scp.run_place, scp.priority_order()
+        )
+        measurement, _ = measure_detection(pn, policy=policy, scp=scp)
+        assert measurement.within_observed_bound
+
+    def test_measurement_fields(self, l1_pn_abstract):
+        measurement, frustum = measure_detection(l1_pn_abstract)
+        assert measurement.n == 5
+        assert measurement.frustum_length == frustum.length
+        assert measurement.repeat_time == frustum.repeat_time
+        from fractions import Fraction
+
+        assert measurement.steps_per_n == Fraction(measurement.repeat_time, 5)

@@ -1,0 +1,81 @@
+"""Buffer balancing: minimal per-arc capacities for a target rate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import balance_buffers, build_sdsp_pn
+from repro.errors import AnalysisError
+from repro.loops import KERNELS, parse_loop, translate
+from repro.petrinet import detect_frustum
+
+CONDITIONAL = """
+doall cond:
+  A[i] = where(X[i] < 1, Y[i] * 2, Y[i] + X[i])
+"""
+
+
+class TestTargets:
+    def test_default_target_doall_is_rate_one(self):
+        pn = build_sdsp_pn(KERNELS["loop1"].translation().graph)
+        balance = balance_buffers(pn)
+        assert balance.target_period == 1
+        # every pair needs two slots to hide the ack round trip
+        assert set(balance.capacities.values()) == {2}
+
+    def test_default_target_recurrence_limited(self):
+        pn = build_sdsp_pn(KERNELS["loop5"].translation().graph)
+        balance = balance_buffers(pn)
+        assert balance.target_period == 2  # the 2-op recurrence
+        # at the recurrence rate, single buffering suffices everywhere
+        assert set(balance.capacities.values()) == {1}
+
+    def test_explicit_slow_target_needs_less(self):
+        pn = build_sdsp_pn(KERNELS["loop1"].translation().graph)
+        fast = balance_buffers(pn, target_rate=Fraction(1, 1))
+        slow = balance_buffers(pn, target_rate=Fraction(1, 2))
+        assert slow.total < fast.total
+        assert set(slow.capacities.values()) == {1}
+
+    def test_infeasible_target_rejected(self):
+        pn = build_sdsp_pn(KERNELS["loop5"].translation().graph)
+        with pytest.raises(AnalysisError, match="infeasible"):
+            balance_buffers(pn, target_rate=Fraction(1, 1))  # beats recurrence
+
+
+class TestSelectiveBuffering:
+    def test_conditional_buffers_only_the_short_path(self):
+        """At rate 1/2 the conditional loop needs extra slots only on
+        the control's short path to the merge — far cheaper than the
+        uniform capacity-2 allocation."""
+        pn = build_sdsp_pn(translate(parse_loop(CONDITIONAL)).graph)
+        balance = balance_buffers(pn, target_rate=Fraction(1, 2))
+        uniform_two = 2 * len(balance.capacities)
+        assert balance.total < uniform_two
+        assert max(balance.capacities.values()) == 2
+        assert min(balance.capacities.values()) == 1
+
+    def test_balanced_net_achieves_target_in_simulation(self):
+        """Build the balanced net and *run* it: the steady rate must
+        meet the target."""
+        pn = build_sdsp_pn(translate(parse_loop(CONDITIONAL)).graph)
+        balance = balance_buffers(pn, target_rate=Fraction(1, 2))
+        # rebuild with per-arc capacities via the verification helper's
+        # construction: simplest route is per-arc manual marking
+        from repro.core.storage import _verify_balance  # white-box
+
+        _verify_balance(pn, balance)  # raises if the target is missed
+
+    def test_self_arcs_stay_capacity_one(self):
+        pn = build_sdsp_pn(KERNELS["loop3"].translation().graph)
+        balance = balance_buffers(pn)
+        (self_arc,) = [
+            a for a in pn.sdsp.feedback_arcs if a.source == a.target
+        ]
+        assert balance.capacities[self_arc.identifier] == 1
+
+    @pytest.mark.parametrize("key", ["loop1", "loop5", "loop7", "loop12"])
+    def test_totals_never_below_arc_count(self, key):
+        pn = build_sdsp_pn(KERNELS[key].translation().graph)
+        balance = balance_buffers(pn)
+        assert balance.total >= len(balance.capacities)

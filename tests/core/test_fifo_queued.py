@@ -1,0 +1,87 @@
+"""The FIFO-queued dataflow extension (Section 7 future work):
+buffer capacities above one token per arc."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import build_sdsp_pn, optimal_rate
+from repro.errors import NetConstructionError
+from repro.loops import KERNELS
+from repro.petrinet import detect_frustum, is_bounded
+
+
+def pn_for(key, capacity):
+    return build_sdsp_pn(
+        KERNELS[key].translation().graph, buffer_capacity=capacity
+    )
+
+
+class TestConstruction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(NetConstructionError, match=">= 1"):
+            pn_for("loop1", 0)
+
+    def test_ack_tokens_scale_with_capacity(self):
+        pn = pn_for("loop1", 3)
+        ack_counts = {
+            pn.initial[place]
+            for place in pn.net.place_names
+            if pn.net.place(place).annotation == "ack"
+        }
+        assert ack_counts == {3}
+
+    def test_feedback_pair_total_equals_capacity(self):
+        pn = pn_for("loop5", 2)
+        (feedback,) = pn.sdsp.feedback_arcs
+        data = pn.data_place_of[feedback.identifier]
+        ack = pn.ack_place_of[feedback.identifier]
+        assert pn.initial[data] + pn.initial[ack] == 2
+
+    def test_net_bounded_by_capacity(self):
+        pn = pn_for("loop12", 2)
+        assert is_bounded(pn.net, pn.initial, bound=2)
+
+    def test_still_live_marked_graph(self):
+        pn = pn_for("loop1", 4)
+        assert pn.net.is_marked_graph()
+        assert pn.view().is_live()
+
+
+class TestRates:
+    def test_doall_rate_lifts_to_one(self):
+        """Capacity 2 removes the acknowledgement round-trip limit; the
+        non-reentrant unit-time actors then run at rate 1."""
+        assert detect_frustum(
+            *_timed(pn_for("loop1", 1))
+        )[0].uniform_rate() == Fraction(1, 2)
+        assert detect_frustum(
+            *_timed(pn_for("loop1", 2))
+        )[0].uniform_rate() == Fraction(1, 1)
+
+    def test_extra_capacity_beyond_two_is_wasted(self):
+        rates = {
+            capacity: detect_frustum(*_timed(pn_for("loop12", capacity)))[
+                0
+            ].uniform_rate()
+            for capacity in (2, 3, 4)
+        }
+        assert set(rates.values()) == {Fraction(1, 1)}
+
+    def test_recurrence_rate_unmoved_by_buffering(self):
+        """Loop 5's critical cycle is the true recurrence: buffering
+        cannot accelerate it (only the critical cycle's own tokens
+        matter, and those are the loop-carried values)."""
+        for capacity in (1, 2, 4):
+            frustum, _ = detect_frustum(*_timed(pn_for("loop5", capacity)))
+            assert frustum.uniform_rate() == Fraction(1, 2)
+
+    def test_analytic_rate_matches_simulation(self):
+        for capacity in (1, 2, 3):
+            pn = pn_for("loop7", capacity)
+            frustum, _ = detect_frustum(*_timed(pn))
+            assert frustum.uniform_rate() == optimal_rate(pn)
+
+
+def _timed(pn):
+    return pn.timed, pn.initial

@@ -1,0 +1,95 @@
+"""Steady-state equivalent nets (Figure 1(f))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import build_sdsp_scp_pn, steady_state_equivalent_net
+from repro.errors import AnalysisError, NotAMarkedGraphError
+from repro.loops import KERNELS
+from repro.machine import FifoRunPlacePolicy
+from repro.petrinet import MarkedGraphView, detect_frustum
+
+
+def build_steady(pn):
+    frustum, _ = detect_frustum(pn.timed, pn.initial)
+    return frustum, steady_state_equivalent_net(pn.net, pn.durations, frustum)
+
+
+class TestConstruction:
+    def test_l1_instance_counts(self, l1_pn_abstract):
+        frustum, steady = build_steady(l1_pn_abstract)
+        # k = 1: one instance per transition
+        assert len(steady.net.transition_names) == 5
+        assert steady.period == frustum.length == 2
+
+    def test_instance_maps_invert(self, l1_pn_abstract):
+        _, steady = build_steady(l1_pn_abstract)
+        for key, name in steady.instance_of.items():
+            assert steady.base_of[name] == key
+
+    def test_firings_per_period(self, l1_pn_abstract):
+        _, steady = build_steady(l1_pn_abstract)
+        assert steady.firings_per_period("A") == 1
+
+    def test_relative_times_within_period(self, l2_pn_abstract):
+        _, steady = build_steady(l2_pn_abstract)
+        assert all(
+            0 <= t < steady.period for t in steady.relative_times.values()
+        )
+
+
+class TestPaperProperties:
+    """The steady-state equivalent net is a strongly-connected, live,
+    safe marked graph that reproduces the frustum when executed."""
+
+    @pytest.mark.parametrize("key", ["loop1", "loop3", "loop5", "loop11", "loop12"])
+    def test_live_safe_strongly_connected(self, key):
+        from repro.core import build_sdsp_pn
+
+        pn = build_sdsp_pn(KERNELS[key].translation().graph)
+        _, steady = build_steady(pn)
+        view = MarkedGraphView(steady.net, steady.initial)
+        assert view.is_live()
+        assert view.is_safe()
+        assert view.is_strongly_connected()
+
+    def test_replay_reproduces_period(self, l2_pn_abstract):
+        frustum, steady = build_steady(l2_pn_abstract)
+        replay, _ = detect_frustum(steady.timed, steady.initial)
+        assert replay.length == frustum.length
+        # every instance fires exactly once per period
+        assert set(replay.firing_counts.values()) == {1}
+
+    def test_cycle_time_equals_period(self, l2_pn_abstract):
+        from repro.petrinet import cycle_time_by_enumeration
+
+        frustum, steady = build_steady(l2_pn_abstract)
+        view = MarkedGraphView(steady.net, steady.initial)
+        assert (
+            cycle_time_by_enumeration(view, steady.durations)
+            == frustum.length
+        )
+
+    def test_token_wraps_count_boundary_crossings(self, l2_pn_abstract):
+        _, steady = build_steady(l2_pn_abstract)
+        total_tokens = sum(
+            steady.initial[p] for p in steady.net.place_names
+        )
+        # L2's repeated marking holds 6 tokens (one per data/ack pair);
+        # each becomes exactly one wrap token in the equivalent net.
+        assert total_tokens == sum(
+            l2_pn_abstract.initial[p]
+            for p in l2_pn_abstract.net.place_names
+        )
+
+
+class TestErrors:
+    def test_scp_net_rejected(self, l1_pn_abstract):
+        scp = build_sdsp_scp_pn(l1_pn_abstract, stages=2)
+        policy = FifoRunPlacePolicy(
+            scp.net, scp.run_place, scp.priority_order()
+        )
+        frustum, _ = detect_frustum(scp.timed, scp.initial, policy)
+        with pytest.raises(NotAMarkedGraphError):
+            steady_state_equivalent_net(scp.net, scp.durations, frustum)

@@ -1,0 +1,83 @@
+"""Computation rates and the Theorem 5.2.2 resource bound."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    build_sdsp_pn,
+    build_sdsp_scp_pn,
+    critical_cycles,
+    frustum_rate,
+    optimal_rate,
+    pipeline_utilization,
+    scp_rate_upper_bound,
+)
+from repro.loops import KERNELS
+from repro.machine import FifoRunPlacePolicy
+from repro.petrinet import detect_frustum
+
+
+class TestOptimalRate:
+    def test_l1_rate_half(self, l1_pn_abstract):
+        assert optimal_rate(l1_pn_abstract) == Fraction(1, 2)
+
+    def test_l2_rate_third(self, l2_pn_abstract):
+        assert optimal_rate(l2_pn_abstract) == Fraction(1, 3)
+
+    def test_l2_critical_cycle_is_cdec(self, l2_pn_abstract):
+        report = critical_cycles(l2_pn_abstract)
+        assert report.cycle_time == 3
+        critical_nodes = report.transitions_on_critical_cycles
+        assert {"C", "D", "E"} <= set(critical_nodes)
+
+    @pytest.mark.parametrize("key", sorted(KERNELS))
+    def test_simulation_achieves_optimal_rate(self, key):
+        """Time-optimality: the earliest-firing frustum rate equals the
+        critical-cycle bound for every Livermore kernel."""
+        pn = build_sdsp_pn(KERNELS[key].translation().graph)
+        frustum, _ = detect_frustum(pn.timed, pn.initial)
+        assert frustum.uniform_rate() == optimal_rate(pn)
+
+
+class TestScpBounds:
+    def test_rate_upper_bound_is_one_over_n(self, l1_pn_abstract):
+        scp = build_sdsp_scp_pn(l1_pn_abstract, stages=8)
+        assert scp_rate_upper_bound(scp) == Fraction(1, 5)
+
+    @pytest.mark.parametrize("key", ["loop1", "loop5", "loop7", "loop12"])
+    def test_theorem_522_never_violated(self, key):
+        pn = build_sdsp_pn(KERNELS[key].translation().graph)
+        scp = build_sdsp_scp_pn(pn, stages=8)
+        policy = FifoRunPlacePolicy(
+            scp.net, scp.run_place, scp.priority_order()
+        )
+        frustum, _ = detect_frustum(scp.timed, scp.initial, policy)
+        bound = scp_rate_upper_bound(scp)
+        for name in scp.sdsp_transitions:
+            assert frustum_rate(frustum, name) <= bound
+
+    def test_utilization_is_one_when_bound_met(self):
+        """Loop 7 has n=26 >= 2l=16: the pipeline saturates."""
+        pn = build_sdsp_pn(KERNELS["loop7"].translation().graph)
+        scp = build_sdsp_scp_pn(pn, stages=8)
+        policy = FifoRunPlacePolicy(
+            scp.net, scp.run_place, scp.priority_order()
+        )
+        frustum, _ = detect_frustum(scp.timed, scp.initial, policy)
+        assert pipeline_utilization(scp, frustum) == 1
+        assert frustum_rate(frustum, scp.sdsp_transitions[0]) == (
+            scp_rate_upper_bound(scp)
+        )
+
+    def test_utilization_below_one_for_short_loops(self, l1_pn_abstract):
+        """With n < 2l the acknowledgement round trip starves the
+        pipeline: utilisation n/(2l) + epsilon territory."""
+        scp = build_sdsp_scp_pn(l1_pn_abstract, stages=8)
+        policy = FifoRunPlacePolicy(
+            scp.net, scp.run_place, scp.priority_order()
+        )
+        frustum, _ = detect_frustum(scp.timed, scp.initial, policy)
+        utilization = pipeline_utilization(scp, frustum)
+        assert utilization < 1
+        assert utilization > 0

@@ -1,0 +1,123 @@
+"""SDSP-SCP-PN construction (Section 5.2, Figure 3)."""
+
+import pytest
+
+from repro.core import RUN_PLACE, build_sdsp_pn, build_sdsp_scp_pn
+from repro.errors import NetConstructionError
+from repro.petrinet import detect_frustum, is_live, is_safe
+from repro.machine import FifoRunPlacePolicy
+
+
+@pytest.fixture
+def l1_scp(l1_pn_abstract):
+    return build_sdsp_scp_pn(l1_pn_abstract, stages=8)
+
+
+class TestSeriesExpansion:
+    def test_dummy_per_place(self, l1_pn_abstract, l1_scp):
+        # every one of the 10 places of Figure 1(d) gets a dummy
+        assert len(l1_scp.dummy_transitions) == 10
+
+    def test_dummy_duration_is_stages_minus_one(self, l1_scp):
+        for dummy in l1_scp.dummy_transitions:
+            assert l1_scp.durations[dummy] == 7
+
+    def test_sdsp_transitions_take_one_cycle(self, l1_scp):
+        for name in l1_scp.sdsp_transitions:
+            assert l1_scp.durations[name] == 1
+
+    def test_single_stage_has_no_dummies(self, l1_pn_abstract):
+        scp = build_sdsp_scp_pn(l1_pn_abstract, stages=1)
+        assert scp.dummy_transitions == ()
+
+    def test_initial_tokens_land_past_the_delay(self, l2_pn_abstract):
+        scp = build_sdsp_scp_pn(l2_pn_abstract, stages=4)
+        (feedback,) = l2_pn_abstract.sdsp.feedback_arcs
+        data_place = l2_pn_abstract.data_place_of[feedback.identifier]
+        assert scp.initial[f"{data_place}~ready"] == 1
+        assert scp.initial[data_place] == 0
+
+    def test_ack_expansion_can_be_disabled(self, l1_pn_abstract):
+        scp = build_sdsp_scp_pn(l1_pn_abstract, stages=8, expand_ack_places=False)
+        dummies_for_acks = [
+            d for d in scp.dummy_transitions if "a[" in d
+        ]
+        assert dummies_for_acks == []
+        assert len(scp.dummy_transitions) == 5  # data places only
+
+    def test_invalid_stage_count(self, l1_pn_abstract):
+        with pytest.raises(NetConstructionError, match=">= 1 stage"):
+            build_sdsp_scp_pn(l1_pn_abstract, stages=0)
+
+
+class TestRunPlace:
+    def test_run_place_touches_every_instruction(self, l1_scp):
+        for name in l1_scp.sdsp_transitions:
+            assert RUN_PLACE in l1_scp.net.input_places(name)
+            assert RUN_PLACE in l1_scp.net.output_places(name)
+
+    def test_run_place_not_on_dummies(self, l1_scp):
+        for dummy in l1_scp.dummy_transitions:
+            assert RUN_PLACE not in l1_scp.net.input_places(dummy)
+
+    def test_run_place_holds_one_token(self, l1_scp):
+        assert l1_scp.initial[RUN_PLACE] == 1
+
+    def test_structural_conflict_introduced(self, l1_scp, l1_pn_abstract):
+        assert not l1_pn_abstract.net.has_structural_conflict()
+        assert l1_scp.net.has_structural_conflict()
+        assert RUN_PLACE in l1_scp.net.structural_conflicts()
+
+    def test_not_a_marked_graph_any_more(self, l1_scp):
+        assert not l1_scp.net.is_marked_graph()
+
+
+class TestTheorem521:
+    """Liveness/safety carry over from the SDSP-PN (checked exactly by
+    reachability on a small instance)."""
+
+    def test_small_scp_net_live_and_safe(self):
+        from repro.dataflow import GraphBuilder
+
+        b = GraphBuilder("tiny")
+        b.load("x", "X")
+        b.binop("A", "+", "x", immediate=1)
+        b.binop("B", "*", "A", "A")
+        b.store("st", "OUT", "B")
+        pn = build_sdsp_pn(b.build(), include_io=False)
+        scp = build_sdsp_scp_pn(pn, stages=2)
+        assert is_live(scp.net, scp.initial)
+        assert is_safe(scp.net, scp.initial)
+
+    def test_priority_order_is_construction_order(self, l1_scp):
+        assert l1_scp.priority_order() == ("A", "B", "C", "D", "E")
+
+    def test_size_counts_instructions_only(self, l1_scp):
+        assert l1_scp.size == 5
+
+
+class TestSteadyBehaviour:
+    def test_figure3_firing_sequence(self, l1_pn_abstract):
+        """Figure 3(c): with l=1..2 the steady SCP firing order of L1 is
+        A D B C E (per the FIFO + program-order policy)."""
+        scp = build_sdsp_scp_pn(l1_pn_abstract, stages=1)
+        policy = FifoRunPlacePolicy(scp.net, scp.run_place, scp.priority_order())
+        frustum, _ = detect_frustum(scp.timed, scp.initial, policy)
+        order = [
+            name
+            for _, fired in frustum.schedule_steps
+            for name in fired
+            if name in scp.sdsp_transitions
+        ]
+        assert sorted(order) == ["A", "B", "C", "D", "E"]
+        assert frustum.length == 5  # one instruction per cycle, n = 5
+
+    def test_one_issue_per_cycle(self, l1_scp):
+        policy = FifoRunPlacePolicy(
+            l1_scp.net, l1_scp.run_place, l1_scp.priority_order()
+        )
+        frustum, behavior = detect_frustum(l1_scp.timed, l1_scp.initial, policy)
+        instructions = set(l1_scp.sdsp_transitions)
+        for step in behavior.steps:
+            issued = [f for f in step.fired if f in instructions]
+            assert len(issued) <= 1

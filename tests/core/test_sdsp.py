@@ -1,0 +1,68 @@
+"""The SDSP tuple (V, E, E', F, F')."""
+
+import pytest
+
+from repro.core import Sdsp
+from repro.dataflow import GraphBuilder
+from repro.errors import DataflowError
+
+
+@pytest.fixture
+def l2_sdsp(l2_graph):
+    return Sdsp(l2_graph)
+
+
+class TestComponents:
+    def test_nodes(self, l2_sdsp):
+        assert {"A", "B", "C", "D", "E"} <= set(l2_sdsp.nodes)
+
+    def test_forward_and_feedback_partition(self, l2_sdsp):
+        assert len(l2_sdsp.feedback_arcs) == 1
+        assert all(not a.is_feedback for a in l2_sdsp.forward_arcs)
+
+    def test_acks_mirror_data_arcs(self, l2_sdsp):
+        for ack in l2_sdsp.forward_acks:
+            assert ack.source == ack.data_arc.target
+            assert ack.target == ack.data_arc.source
+            assert ack.initial_tokens == 1
+
+    def test_feedback_ack_starts_empty(self, l2_sdsp):
+        (ack,) = l2_sdsp.feedback_acks
+        assert ack.initial_tokens == 0
+        assert ack.identifier.startswith("ack(")
+
+    def test_self_arc_has_no_ack(self):
+        b = GraphBuilder("acc")
+        b.load("y", "Y")
+        b.binop("Q", "+", left="y")
+        b.feedback("Q", "Q", 1)
+        b.store("st", "Q", "Q")
+        sdsp = Sdsp(b.build())
+        assert all(a.data_arc.source != a.data_arc.target for a in sdsp.all_acks)
+        # the self data arc still counts as a storage location
+        assert sdsp.storage_locations == len(sdsp.all_data_arcs)
+
+    def test_invalid_graph_rejected(self):
+        from repro.dataflow import DataflowGraph, binop
+
+        graph = DataflowGraph()
+        graph.add_actor(binop("a", "+"))
+        with pytest.raises(DataflowError):
+            Sdsp(graph)
+
+
+class TestMetrics:
+    def test_size(self, l2_sdsp):
+        # 5 compute + 3 loads + 5 stores
+        assert l2_sdsp.size == 13
+
+    def test_lcd_flag(self, l1_graph, l2_graph):
+        assert not Sdsp(l1_graph).has_loop_carried_dependence
+        assert Sdsp(l2_graph).has_loop_carried_dependence
+
+    def test_storage_locations_is_arc_count(self, l2_sdsp):
+        assert l2_sdsp.storage_locations == len(l2_sdsp.all_data_arcs)
+
+    def test_max_concurrent_iterations(self, l1_graph):
+        # longest path: ld -> A -> B -> D -> E -> st = 6 nodes
+        assert Sdsp(l1_graph).max_concurrent_iterations == 6

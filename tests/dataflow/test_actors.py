@@ -1,0 +1,123 @@
+"""Actor catalogue: construction, evaluation, switch/merge dummy rules."""
+
+import pytest
+
+from repro.dataflow import DUMMY, ActorKind, binop, identity, load, merge, store, switch, unop
+from repro.dataflow.actors import EvalContext
+from repro.errors import DataflowError
+
+
+@pytest.fixture
+def context():
+    return EvalContext({"X": [10, 20, 30]})
+
+
+class TestConstruction:
+    def test_load(self):
+        actor = load("ld", "X", offset=2)
+        assert actor.kind is ActorKind.LOAD
+        assert actor.arity == 0
+        assert actor.is_source
+        assert actor.param("offset") == 2
+        assert actor.label == "X[i+2]"
+
+    def test_load_negative_offset_label(self):
+        assert load("ld", "X", offset=-1).label == "X[i-1]"
+
+    def test_store(self):
+        actor = store("st", "Y")
+        assert actor.arity == 1
+        assert actor.label == "Y[i]:="
+
+    def test_binop(self):
+        actor = binop("add", "+")
+        assert actor.arity == 2
+        assert actor.label == "+"
+
+    def test_binop_with_immediate(self):
+        actor = binop("add5", "+", immediate=5, immediate_port=1)
+        assert actor.arity == 1
+
+    def test_binop_unknown_op_rejected(self):
+        with pytest.raises(DataflowError, match="unknown binary"):
+            binop("bad", "<<")
+
+    def test_binop_immediate_needs_port(self):
+        with pytest.raises(DataflowError, match="together"):
+            binop("bad", "+", immediate=5)
+
+    def test_binop_bad_immediate_port(self):
+        with pytest.raises(DataflowError, match="0 or 1"):
+            binop("bad", "+", immediate=5, immediate_port=2)
+
+    def test_unop_unknown_rejected(self):
+        with pytest.raises(DataflowError, match="unknown unary"):
+            unop("bad", "cube")
+
+
+class TestEvaluation:
+    def test_load_uses_firing_index_and_offset(self, context):
+        actor = load("ld", "X", offset=1)
+        assert actor.evaluate([], context) == [20]
+        context.bump_firing("ld")
+        assert actor.evaluate([], context) == [30]
+
+    def test_store_records(self, context):
+        actor = store("st", "OUT")
+        assert actor.evaluate([42], context) == []
+        assert context.stores == {"OUT": [42]}
+
+    def test_binop_two_operands(self, context):
+        assert binop("add", "+").evaluate([2, 3], context) == [5]
+
+    def test_binop_immediate_left(self, context):
+        actor = binop("sub", "-", immediate=10, immediate_port=0)
+        assert actor.evaluate([3], context) == [7]
+
+    def test_binop_immediate_right(self, context):
+        actor = binop("sub", "-", immediate=10, immediate_port=1)
+        assert actor.evaluate([3], context) == [-7]
+
+    def test_division(self, context):
+        assert binop("div", "/").evaluate([7, 2], context) == [3.5]
+
+    def test_comparison_ops(self, context):
+        assert binop("lt", "<").evaluate([1, 2], context) == [True]
+
+    def test_unop(self, context):
+        assert unop("n", "neg").evaluate([4], context) == [-4]
+
+    def test_identity(self, context):
+        assert identity("id").evaluate([99], context) == [99]
+
+    def test_wrong_arity_rejected(self, context):
+        with pytest.raises(DataflowError, match="expects 2"):
+            binop("add", "+").evaluate([1], context)
+
+
+class TestSwitchMerge:
+    def test_switch_true_routes_to_port0(self, context):
+        assert switch("s").evaluate([True, 7], context) == [7, DUMMY]
+
+    def test_switch_false_routes_to_port1(self, context):
+        assert switch("s").evaluate([False, 7], context) == [DUMMY, 7]
+
+    def test_merge_selects_true_branch(self, context):
+        assert merge("m").evaluate([True, 5, DUMMY], context) == [5]
+
+    def test_merge_selects_false_branch(self, context):
+        assert merge("m").evaluate([False, DUMMY, 6], context) == [6]
+
+    def test_merge_rejects_real_token_on_unselected(self, context):
+        with pytest.raises(DataflowError, match="unselected"):
+            merge("m").evaluate([True, 5, 6], context)
+
+    def test_merge_rejects_dummy_on_selected(self, context):
+        with pytest.raises(DataflowError, match="dummy token"):
+            merge("m").evaluate([True, DUMMY, DUMMY], context)
+
+    def test_dummy_is_singleton(self):
+        from repro.dataflow.actors import _Dummy
+
+        assert _Dummy() is DUMMY
+        assert repr(DUMMY) == "DUMMY"

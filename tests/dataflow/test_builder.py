@@ -1,0 +1,105 @@
+"""The fluent graph builder."""
+
+import pytest
+
+from repro.dataflow import ActorKind, GraphBuilder, validate
+from repro.errors import DataflowError
+
+
+class TestBasicBuilding:
+    def test_l1_shape(self):
+        b = GraphBuilder("L1")
+        b.load("x", "X")
+        b.binop("A", "+", "x", immediate=5)
+        b.load("y", "Y")
+        b.binop("B", "+", "y", "A")
+        graph = b.build()
+        assert len(graph) == 4
+        assert graph.actor("A").arity == 1  # immediate folded
+        assert [a.source for a in graph.in_arcs("B")] == ["y", "A"]
+
+    def test_store_wires_value(self):
+        b = GraphBuilder()
+        b.load("x", "X")
+        b.store("st", "OUT", "x")
+        graph = b.build()
+        assert graph.in_arcs("st")[0].source == "x"
+
+    def test_undefined_operand_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(DataflowError, match="not defined yet"):
+            b.binop("A", "+", "nope", "nope2")
+
+    def test_unop_and_identity(self):
+        b = GraphBuilder()
+        b.load("x", "X")
+        b.unop("n", "neg", "x")
+        b.identity("i", "n")
+        graph = b.build()
+        assert graph.actor("n").kind is ActorKind.UNOP
+        assert graph.in_arcs("i")[0].source == "n"
+
+    def test_binop_immediate_port_inference(self):
+        b = GraphBuilder()
+        b.load("x", "X")
+        b.binop("r", "-", left="x", immediate=1)   # x - 1
+        b.binop("l", "-", right="x", immediate=1)  # 1 - x
+        graph = b.build()
+        assert graph.actor("r").param("immediate_port") == 1
+        assert graph.actor("l").param("immediate_port") == 0
+
+    def test_binop_immediate_no_operand_needs_port(self):
+        b = GraphBuilder()
+        with pytest.raises(DataflowError, match="immediate_port"):
+            b.binop("r", "+", immediate=1)
+
+    def test_binop_immediate_explicit_port_defers_wiring(self):
+        b = GraphBuilder()
+        b.binop("r", "+", immediate=1, immediate_port=0)
+        b.load("x", "X")
+        b.feedback("x", "r", 0)  # nonsensical semantically, structurally fine
+        graph = b.build()
+        assert graph.in_arcs("r")[0].is_feedback
+
+
+class TestFeedback:
+    def test_feedback_forward_reference(self):
+        b = GraphBuilder()
+        b.load("y", "Y")
+        b.binop("X", "+", left="y")  # right port fed back
+        b.feedback("X", "X", 1)
+        graph = b.build()
+        (arc,) = graph.feedback_arcs()
+        assert arc.source == "X" and arc.target == "X"
+        assert arc.initial_tokens == 1
+        assert validate(graph).ok
+
+    def test_feedback_to_later_defined_node(self):
+        b = GraphBuilder()
+        b.load("y", "Y")
+        b.binop("first", "+", left="y")
+        b.binop("second", "*", "first", "y")
+        b.feedback("second", "first", 1)
+        graph = b.build()
+        assert graph.in_arcs("first")[1].source == "second"
+
+    def test_switch_refs(self):
+        b = GraphBuilder()
+        b.load("c", "COND")
+        b.load("x", "X")
+        b.switch("s", "c", "x")
+        b.binop("t", "+", b.ref("s", 0), b.ref("s", 1))
+        graph = b.build()
+        arcs = graph.in_arcs("t")
+        assert [a.source_port for a in arcs] == [0, 1]
+
+    def test_merge(self):
+        b = GraphBuilder()
+        b.load("c", "COND")
+        b.load("x", "X")
+        b.switch("s", "c", "x")
+        b.unop("neg", "neg", b.ref("s", 0))
+        b.merge("m", "c", "neg", b.ref("s", 1))
+        graph = b.build()
+        assert graph.actor("m").arity == 3
+        assert validate(graph).ok

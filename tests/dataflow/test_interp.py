@@ -1,0 +1,145 @@
+"""The pipelined value interpreter."""
+
+import pytest
+
+from repro.dataflow import GraphBuilder, interpret
+from repro.errors import DataflowError
+
+
+def accumulate_graph():
+    """X[i] = X[i-1] + Y[i] (running sum)."""
+    b = GraphBuilder("sum")
+    b.load("y", "Y")
+    b.binop("X", "+", left="y")
+    b.feedback("X", "X", 1)
+    b.store("st", "X", "X")
+    return b.build()
+
+
+class TestBasicInterpretation:
+    def test_straight_line(self):
+        b = GraphBuilder()
+        b.load("x", "X")
+        b.binop("a", "*", "x", immediate=2)
+        b.store("st", "OUT", "a")
+        result = interpret(b.build(), {"X": [1, 2, 3]}, iterations=3)
+        assert result.stores["OUT"] == [2, 4, 6]
+
+    def test_zero_iterations(self):
+        b = GraphBuilder()
+        b.load("x", "X")
+        b.store("st", "OUT", "x")
+        result = interpret(b.build(), {"X": []}, iterations=0)
+        assert result.stores == {}
+        assert result.firings == {"x": 0, "st": 0}
+
+    def test_offsets_respected(self):
+        b = GraphBuilder()
+        b.load("next", "Y", offset=1)
+        b.load("cur", "Y")
+        b.binop("d", "-", "next", "cur")
+        b.store("st", "D", "d")
+        result = interpret(b.build(), {"Y": [1, 4, 9, 16]}, iterations=3)
+        assert result.stores["D"] == [3, 5, 7]
+
+    def test_array_too_short_rejected(self):
+        b = GraphBuilder()
+        b.load("next", "Y", offset=1)
+        b.store("st", "D", "next")
+        with pytest.raises(DataflowError, match="needs 4"):
+            interpret(b.build(), {"Y": [1, 2, 3]}, iterations=3)
+
+    def test_missing_array_rejected(self):
+        b = GraphBuilder()
+        b.load("x", "X")
+        b.store("st", "OUT", "x")
+        with pytest.raises(DataflowError, match="no input array"):
+            interpret(b.build(), {}, iterations=1)
+
+    def test_invalid_graph_rejected(self):
+        from repro.dataflow import DataflowGraph, binop
+
+        graph = DataflowGraph()
+        graph.add_actor(binop("a", "+"))
+        with pytest.raises(DataflowError):
+            interpret(graph, {}, iterations=1)
+
+
+class TestFeedback:
+    def test_running_sum(self):
+        result = interpret(
+            accumulate_graph(),
+            {"Y": [1, 2, 3, 4]},
+            iterations=4,
+            initial_values={"X.0->X.1": 0},
+        )
+        assert result.stores["X"] == [1, 3, 6, 10]
+
+    def test_boundary_value_used(self):
+        result = interpret(
+            accumulate_graph(),
+            {"Y": [1, 1]},
+            iterations=2,
+            initial_values={"X.0->X.1": 100},
+        )
+        assert result.stores["X"] == [101, 102]
+
+    def test_unknown_initial_key_rejected(self):
+        with pytest.raises(DataflowError, match="unknown arcs"):
+            interpret(
+                accumulate_graph(),
+                {"Y": [1]},
+                iterations=1,
+                initial_values={"bogus": 1},
+            )
+
+    def test_default_initial_is_zero(self):
+        result = interpret(accumulate_graph(), {"Y": [5]}, iterations=1)
+        assert result.stores["X"] == [5]
+
+
+class TestConditionals:
+    def test_switch_merge_roundtrip(self):
+        # OUT[i] = -X[i] if C[i] else X[i]
+        b = GraphBuilder()
+        b.load("c", "C")
+        b.load("x", "X")
+        b.switch("s", "c", "x")
+        b.unop("neg", "neg", b.ref("s", 0))
+        b.merge("m", "c", "neg", b.ref("s", 1))
+        b.store("st", "OUT", "m")
+        result = interpret(
+            b.build(),
+            {"C": [True, False, True], "X": [1, 2, 3]},
+            iterations=3,
+        )
+        assert result.stores["OUT"] == [-1, 2, -3]
+
+
+class TestBufferDiscipline:
+    def test_capacity_one_is_default(self):
+        b = GraphBuilder()
+        b.load("x", "X")
+        b.store("st", "OUT", "x")
+        result = interpret(b.build(), {"X": [1, 2, 3, 4]}, iterations=4)
+        assert result.stores["OUT"] == [1, 2, 3, 4]
+
+    def test_larger_capacity_still_correct(self):
+        # FIFO-queued dataflow (Section 7 extension): more buffering
+        # must not change values, only concurrency.
+        result_small = interpret(
+            accumulate_graph(), {"Y": [1, 2, 3]}, iterations=3
+        )
+        result_large = interpret(
+            accumulate_graph(), {"Y": [1, 2, 3]}, iterations=3,
+            buffer_capacity=4,
+        )
+        assert result_small.stores == result_large.stores
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(DataflowError, match="buffer_capacity"):
+            interpret(accumulate_graph(), {"Y": [1]}, 1, buffer_capacity=0)
+
+    def test_firings_counted(self):
+        result = interpret(accumulate_graph(), {"Y": [1, 2]}, iterations=2)
+        assert result.firings == {"y": 2, "X": 2, "st": 2}

@@ -1,0 +1,108 @@
+"""SDSP well-formedness validation."""
+
+import pytest
+
+from repro.dataflow import (
+    ArcKind,
+    DataArc,
+    DataflowGraph,
+    GraphBuilder,
+    binop,
+    load,
+    merge,
+    require_valid,
+    store,
+    validate,
+)
+from repro.errors import DataflowError
+
+
+def valid_graph():
+    b = GraphBuilder()
+    b.load("x", "X")
+    b.binop("a", "+", "x", immediate=1)
+    b.store("st", "OUT", "a")
+    return b.build()
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        report = validate(valid_graph())
+        assert report.ok
+        assert report.errors == []
+
+    def test_empty_graph_fails(self):
+        report = validate(DataflowGraph())
+        assert not report.ok
+        assert "no actors" in report.errors[0]
+
+    def test_undriven_port_detected(self):
+        graph = DataflowGraph()
+        graph.add_actor(binop("a", "+"))
+        report = validate(graph)
+        assert any("not driven" in e for e in report.errors)
+
+    def test_forward_cycle_detected(self):
+        graph = DataflowGraph()
+        graph.add_actor(binop("a", "+", immediate=1, immediate_port=1))
+        graph.add_actor(binop("b", "+", immediate=1, immediate_port=1))
+        graph.add_arc(DataArc("a", "b", 0))
+        graph.add_arc(DataArc("b", "a", 0))
+        report = validate(graph)
+        assert any("cycle" in e for e in report.errors)
+
+    def test_multi_token_feedback_rejected(self):
+        graph = DataflowGraph()
+        graph.add_actor(binop("a", "+", immediate=1, immediate_port=1))
+        graph.add_arc(
+            DataArc("a", "a", 0, kind=ArcKind.FEEDBACK, initial_tokens=2)
+        )
+        report = validate(graph)
+        assert any("distance one" in e for e in report.errors)
+
+    def test_merge_without_switch_detected(self):
+        graph = DataflowGraph()
+        graph.add_actor(load("c", "C"))
+        graph.add_actor(load("x", "X"))
+        graph.add_actor(load("y", "Y"))
+        graph.add_actor(merge("m"))
+        graph.add_actor(store("st", "OUT"))
+        graph.add_arc(DataArc("c", "m", 0))
+        graph.add_arc(DataArc("x", "m", 1))
+        graph.add_arc(DataArc("y", "m", 2))
+        graph.add_arc(DataArc("m", "st", 0))
+        report = validate(graph)
+        assert any("no switch" in e for e in report.errors)
+
+    def test_unconsumed_switch_branch_detected(self):
+        b = GraphBuilder()
+        b.load("c", "C")
+        b.load("x", "X")
+        b.switch("s", "c", "x")
+        b.store("st", "OUT", b.ref("s", 0))  # false branch dangles
+        report = validate(b.build())
+        assert any("false branch" in e for e in report.errors)
+
+    def test_dead_code_warning(self):
+        graph = valid_graph()
+        graph.add_actor(load("unused", "Z"))
+        report = validate(graph)
+        assert report.ok  # warning, not error
+        assert any("dead code" in w for w in report.warnings)
+
+    def test_disconnected_warning(self):
+        graph = valid_graph()
+        graph.add_actor(load("lone", "Z"))
+        graph.add_actor(store("lone_st", "Z2"))
+        graph.add_arc(DataArc("lone", "lone_st", 0))
+        report = validate(graph)
+        assert any("connected" in w for w in report.warnings)
+
+    def test_require_valid_raises_with_all_errors(self):
+        graph = DataflowGraph("broken")
+        graph.add_actor(binop("a", "+"))
+        with pytest.raises(DataflowError, match="broken"):
+            require_valid(graph)
+
+    def test_require_valid_passes_silently(self):
+        require_valid(valid_graph())

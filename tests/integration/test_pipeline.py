@@ -1,0 +1,89 @@
+"""The end-to-end compile_loop pipeline."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import CompiledLoop, compile_loop
+from repro.core import execute_schedule
+from repro.errors import LoopIRError, ScheduleError
+from repro.loops import KERNELS, reference_execute
+from tests.conftest import L1_SOURCE, L2_SOURCE
+
+
+class TestCompileLoop:
+    def test_l1_end_to_end(self):
+        result = compile_loop(L1_SOURCE, include_io=False)
+        assert isinstance(result, CompiledLoop)
+        assert result.schedule.rate == Fraction(1, 2)
+        assert result.optimal_rate == Fraction(1, 2)
+        assert result.scp is None
+
+    def test_l2_end_to_end(self):
+        result = compile_loop(L2_SOURCE, include_io=False)
+        assert result.schedule.rate == Fraction(1, 3)
+        assert result.bounds.case == "single"
+
+    def test_scp_stage(self):
+        result = compile_loop(L1_SOURCE, include_io=False, pipeline_stages=8)
+        assert result.scp is not None
+        assert result.scp_schedule is not None
+        assert result.scp_schedule.rate < result.schedule.rate
+        assert 0 < result.scp_utilization < 1
+
+    def test_verification_on_by_default(self):
+        # compile_loop with verify=True must not raise on valid loops
+        compile_loop(L2_SOURCE, include_io=False, verify=True)
+
+    def test_verify_can_be_disabled(self):
+        result = compile_loop(L2_SOURCE, include_io=False, verify=False)
+        assert result.schedule is not None
+
+    def test_scalars_forwarded(self):
+        result = compile_loop(
+            "do:\n  X[i] = Q * Y[i] + X[i-1]", scalars={"Q": 2.0}
+        )
+        assert result.schedule is not None
+
+    def test_missing_scalar_raises(self):
+        with pytest.raises(LoopIRError, match="Q"):
+            compile_loop("do:\n  X[i] = Q * Y[i] + X[i-1]")
+
+    def test_full_io_mode_default(self):
+        result = compile_loop(L1_SOURCE)
+        assert result.pn.size == 14  # loads + computes + stores
+
+    @pytest.mark.parametrize("key", sorted(KERNELS))
+    def test_all_kernels_compile_and_verify(self, key):
+        k = KERNELS[key]
+        result = compile_loop(k.source, scalars=k.scalar_bindings())
+        assert result.schedule.rate == result.optimal_rate
+
+    @pytest.mark.parametrize("key", ["loop1", "loop5", "loop11"])
+    def test_compiled_schedule_preserves_semantics(self, key):
+        k = KERNELS[key]
+        result = compile_loop(k.source, scalars=k.scalar_bindings())
+        iterations = 6
+        arrays = {n: list(v) for n, v in k.make_inputs(iterations).items()}
+        outputs = execute_schedule(
+            result.translation.graph,
+            result.schedule,
+            arrays,
+            iterations,
+            result.translation.initial_values_for(k.boundary_values()),
+        )
+        reference = reference_execute(
+            k.loop(), arrays, k.scalar_bindings(), iterations,
+            k.boundary_values(),
+        )
+        for name, stream in reference.items():
+            assert np.allclose(outputs[name], stream)
+
+    def test_scp_schedule_verified_against_machine(self):
+        from repro.machine import ScpMachine
+
+        result = compile_loop(L2_SOURCE, include_io=False, pipeline_stages=4)
+        machine = ScpMachine(result.pn, stages=4)
+        run = machine.run_schedule(result.scp_schedule, iterations=10)
+        assert run.issues == 10 * 5

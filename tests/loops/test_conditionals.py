@@ -1,0 +1,171 @@
+"""Conditional loop bodies: where() → well-formed switch/merge
+subgraphs (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro import compile_loop
+from repro.core import build_sdsp_pn, execute_schedule
+from repro.dataflow import ActorKind, interpret, validate
+from repro.errors import LoopIRError
+from repro.loops import Ternary, parse_expression, parse_loop, reference_execute, translate
+from repro.petrinet import detect_frustum
+
+ABS_DIFF = """
+doall absdiff:
+  A[i] = where(X[i] < Y[i], Y[i] - X[i], X[i] - Y[i])
+"""
+
+ONE_SIDED = """
+doall clamp:
+  A[i] = where(X[i] < 1, Y[i] * 2, Y[i] + X[i])
+"""
+
+
+class TestParsing:
+    def test_where_parses_to_ternary(self):
+        expr = parse_expression("where(X[i] < 0, Y[i], Z[i])")
+        assert isinstance(expr, Ternary)
+
+    def test_comparison_operators(self):
+        for op in ("<", "<=", ">", ">=", "=="):
+            expr = parse_expression(f"X[i] {op} Y[i]")
+            assert expr.op == op
+
+    def test_nested_where(self):
+        expr = parse_expression(
+            "where(X[i] < 0, Y[i], where(X[i] > 1, Z[i], W[i]))"
+        )
+        assert isinstance(expr.els, Ternary)
+
+    def test_where_requires_three_arguments(self):
+        with pytest.raises(LoopIRError):
+            parse_expression("where(X[i] < 0, Y[i])")
+
+
+class TestLowering:
+    def test_switch_merge_structure(self):
+        graph = translate(parse_loop(ABS_DIFF)).graph
+        kinds = [a.kind for a in graph.actors]
+        assert ActorKind.SWITCH in kinds
+        assert ActorKind.MERGE in kinds
+        assert validate(graph).ok
+
+    def test_shared_operand_one_switch_two_ports(self):
+        graph = translate(parse_loop(ABS_DIFF)).graph
+        switches = [a for a in graph.actors if a.kind is ActorKind.SWITCH]
+        # X and Y each get one switch, both output ports consumed
+        assert len(switches) == 2
+        for sw in switches:
+            ports = {arc.source_port for arc in graph.out_arcs(sw.name)}
+            assert ports == {0, 1}
+
+    def test_one_sided_operand_gets_sink(self):
+        graph = translate(parse_loop(ONE_SIDED)).graph
+        sinks = [a for a in graph.actors if a.kind is ActorKind.SINK]
+        assert sinks  # X[i] is only used by the else branch
+        assert validate(graph).ok
+
+    def test_constant_condition_folds(self):
+        graph = translate(
+            parse_loop("doall:\n  A[i] = where(1 < 2, X[i] + 1, X[i] - 1)")
+        ).graph
+        kinds = [a.kind for a in graph.actors]
+        assert ActorKind.SWITCH not in kinds
+        assert ActorKind.MERGE not in kinds
+
+    def test_constant_branch_rejected(self):
+        with pytest.raises(LoopIRError, match="constant branches"):
+            translate(parse_loop("do:\n  A[i] = where(X[i] < 0, 5, X[i])"))
+
+    def test_carried_ref_in_branch_rejected(self):
+        with pytest.raises(LoopIRError, match="conditional branches"):
+            translate(
+                parse_loop("do:\n  A[i] = where(X[i] < 0, A[i-1] + 1, X[i])")
+            )
+
+    def test_bare_carried_control_rejected(self):
+        """A bare ``A[i-1]`` control has no same-iteration actor to wire
+        a switch to; computed conditions over carried values are fine
+        (next test)."""
+        with pytest.raises(LoopIRError, match="conditional controls"):
+            translate(
+                parse_loop("do:\n  A[i] = where(A[i-1], X[i] + 1, X[i])")
+            )
+
+    def test_computed_condition_over_carried_value_supported(self):
+        """``A[i-1] < 0`` is an ordinary instruction whose operand is a
+        feedback arc — the conditional control is its (same-iteration)
+        result."""
+        result = translate(
+            parse_loop("do:\n  A[i] = where(A[i-1] < 0, X[i] + 1, X[i] - 1)")
+        )
+        assert validate(result.graph).ok
+
+
+class TestSemantics:
+    def make_inputs(self):
+        rng = np.random.default_rng(7)
+        return {
+            "X": list(rng.uniform(0, 2, 8)),
+            "Y": list(rng.uniform(0, 2, 8)),
+        }
+
+    @pytest.mark.parametrize("source", [ABS_DIFF, ONE_SIDED])
+    def test_interpreter_matches_reference(self, source):
+        arrays = self.make_inputs()
+        graph = translate(parse_loop(source)).graph
+        result = interpret(graph, arrays, 8)
+        reference = reference_execute(parse_loop(source), arrays, iterations=8)
+        assert np.allclose(result.stores["A"], reference["A"])
+
+    @pytest.mark.parametrize("source", [ABS_DIFF, ONE_SIDED])
+    def test_scheduled_execution_matches_reference(self, source):
+        arrays = self.make_inputs()
+        result = compile_loop(source)
+        outputs = execute_schedule(
+            result.translation.graph, result.schedule, arrays, 8, {}
+        )
+        reference = reference_execute(parse_loop(source), arrays, iterations=8)
+        assert np.allclose(outputs["A"], reference["A"])
+
+    def test_nested_where_end_to_end(self):
+        source = (
+            "doall nest:\n"
+            "  A[i] = where(X[i] < 1, Y[i] + X[i],"
+            " where(X[i] < 2, Y[i] - X[i], Y[i] * X[i]))\n"
+        )
+        arrays = {"X": [0.5, 1.5, 2.5, 0.1], "Y": [1.0, 2.0, 3.0, 4.0]}
+        graph = translate(parse_loop(source)).graph
+        result = interpret(graph, arrays, 4)
+        reference = reference_execute(parse_loop(source), arrays, iterations=4)
+        assert np.allclose(result.stores["A"], reference["A"])
+
+
+class TestPetriNetProperties:
+    def test_conditional_pn_live_safe_marked_graph(self):
+        pn = build_sdsp_pn(translate(parse_loop(ABS_DIFF)).graph)
+        assert pn.net.is_marked_graph()
+        view = pn.view()
+        assert view.is_live()
+        assert view.is_safe()
+
+    def test_frustum_exists_and_schedule_verifies(self):
+        result = compile_loop(ABS_DIFF)  # verify=True checks everything
+        assert result.frustum.length > 0
+        assert result.schedule.rate == result.optimal_rate
+
+    def test_buffering_restores_unbalanced_rate(self):
+        """The control's short path to the merge throttles a one-token
+        conditional below 1/2; one extra buffer restores it (the
+        balancing phenomenon of Section 6 / the Section 7 FIFO-queued
+        extension)."""
+        from fractions import Fraction
+
+        translation = translate(parse_loop(ONE_SIDED))
+        pn1 = build_sdsp_pn(translation.graph, buffer_capacity=1)
+        pn2 = build_sdsp_pn(translation.graph, buffer_capacity=2)
+        f1, _ = detect_frustum(pn1.timed, pn1.initial)
+        f2, _ = detect_frustum(pn2.timed, pn2.initial)
+        assert f1.uniform_rate() < Fraction(1, 2)
+        assert f2.uniform_rate() == Fraction(1, 2)

@@ -1,0 +1,84 @@
+"""Dependence analysis: distances, DOALL checking, error cases."""
+
+import pytest
+
+from repro.errors import LoopIRError
+from repro.loops import analyze, parse_loop
+
+
+class TestFlowDependences:
+    def test_intra_iteration(self, l1_loop):
+        info = analyze(l1_loop)
+        assert info.is_doall
+        pairs = {(d.producer, d.consumer) for d in info.dependences}
+        assert ("A", "B") in pairs
+        assert ("A", "C") in pairs
+        assert ("B", "D") in pairs
+        assert ("C", "D") in pairs
+        assert ("D", "E") in pairs
+        assert all(d.distance == 0 for d in info.dependences)
+
+    def test_loop_carried_array(self, l2_loop):
+        info = analyze(l2_loop)
+        assert not info.is_doall
+        carried = info.loop_carried
+        assert len(carried) == 1
+        assert (carried[0].producer, carried[0].consumer) == ("E", "C")
+        assert carried[0].distance == 1
+
+    def test_self_recurrence(self):
+        info = analyze(parse_loop("do:\n  X[i] = X[i-1] + Y[i]"))
+        (dep,) = info.loop_carried
+        assert dep.producer == dep.consumer == "X"
+
+    def test_accumulator_use_before_def_is_carried(self):
+        info = analyze(parse_loop("do:\n  Q = Q + Z[i]"))
+        (dep,) = info.dependences
+        assert dep.distance == 1
+
+    def test_scalar_use_after_def_same_iteration(self):
+        loop = parse_loop("do:\n  Q = Z[i] + 1\n  X[i] = Q * 2")
+        info = analyze(loop)
+        dep = next(d for d in info.dependences if d.consumer == "X")
+        assert dep.distance == 0
+        assert info.is_doall
+
+    def test_scalar_use_before_def_is_carried(self):
+        loop = parse_loop("do:\n  X[i] = Q * 2\n  Q = Z[i] + 1")
+        info = analyze(loop)
+        dep = next(d for d in info.dependences if d.consumer == "X")
+        assert dep.distance == 1
+        assert not info.is_doall
+
+    def test_larger_distance_recorded(self):
+        info = analyze(parse_loop("do:\n  X[i] = X[i-3] + Y[i]"))
+        assert info.max_distance == 3
+
+    def test_producers_of(self, l2_loop):
+        info = analyze(l2_loop)
+        producers = {d.producer for d in info.producers_of("D")}
+        assert producers == {"B", "C"}
+
+    def test_duplicate_uses_deduplicated(self):
+        info = analyze(parse_loop("do:\n  X[i] = Y[i] + 2\n  Z[i] = X[i] * X[i]"))
+        assert (
+            len([d for d in info.dependences if (d.producer, d.consumer) == ("X", "Z")])
+            == 1
+        )
+
+
+class TestErrors:
+    def test_future_read_rejected(self):
+        with pytest.raises(LoopIRError, match="future"):
+            analyze(parse_loop("do:\n  X[i] = X[i+1] + Y[i]"))
+
+    def test_doall_with_lcd_rejected(self):
+        with pytest.raises(LoopIRError, match="annotated doall"):
+            analyze(parse_loop("doall:\n  X[i] = X[i-1] + Y[i]"))
+
+    def test_doall_with_lcd_tolerated_when_not_strict(self):
+        info = analyze(
+            parse_loop("doall:\n  X[i] = X[i-1] + Y[i]"),
+            strict_doall=False,
+        )
+        assert not info.is_doall

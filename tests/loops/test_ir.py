@@ -1,0 +1,60 @@
+"""Loop IR structure and name classification."""
+
+import pytest
+
+from repro.errors import LoopIRError
+from repro.loops import ArrayRef, Assign, Binary, Const, Loop, ScalarRef, parse_loop, walk_expr
+
+
+class TestAssign:
+    def test_target_name_array(self):
+        statement = Assign(ArrayRef("X", 0), Const(1))
+        assert statement.target_name == "X"
+
+    def test_target_name_scalar(self):
+        statement = Assign(ScalarRef("Q"), Const(1))
+        assert statement.target_name == "Q"
+
+    def test_offset_target_rejected(self):
+        with pytest.raises(LoopIRError, match="offset"):
+            Assign(ArrayRef("X", 1), Const(1))
+
+
+class TestLoopClassification:
+    def test_defined_names(self, l2_loop):
+        assert l2_loop.defined_names == {"A", "B", "C", "D", "E"}
+
+    def test_input_arrays(self, l2_loop):
+        assert l2_loop.input_arrays == {"X", "Y", "W"}
+
+    def test_invariant_scalars(self):
+        loop = parse_loop("do:\n  X[i] = Q + R * Y[i]")
+        assert loop.invariant_scalars == {"Q", "R"}
+
+    def test_accumulators_not_invariant(self):
+        loop = parse_loop("do:\n  Q = Q + Y[i]")
+        assert loop.invariant_scalars == set()
+        assert loop.accumulator_scalars == {"Q"}
+
+    def test_output_arrays(self, l1_loop):
+        assert l1_loop.output_arrays == {"A", "B", "C", "D", "E"}
+
+    def test_statement_for(self, l1_loop):
+        assert l1_loop.statement_for("D").target_name == "D"
+        with pytest.raises(LoopIRError, match="does not define"):
+            l1_loop.statement_for("Z")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(LoopIRError, match="empty"):
+            Loop("bad", [])
+
+
+class TestWalkExpr:
+    def test_preorder(self):
+        expr = Binary("+", Const(1), Binary("*", ScalarRef("a"), Const(2)))
+        kinds = [type(node).__name__ for node in walk_expr(expr)]
+        assert kinds == ["Binary", "Const", "Binary", "ScalarRef", "Const"]
+
+    def test_str_rendering(self):
+        expr = Binary("+", ArrayRef("X", -1), Const(5.0))
+        assert str(expr) == "(X[i-1] + 5)"

@@ -1,0 +1,140 @@
+"""The loop-source parser."""
+
+import pytest
+
+from repro.errors import LoopIRError
+from repro.loops import (
+    ArrayRef,
+    Binary,
+    Const,
+    ScalarRef,
+    Unary,
+    parse_expression,
+    parse_loop,
+)
+
+
+class TestExpressions:
+    def test_number(self):
+        assert parse_expression("42") == Const(42.0)
+
+    def test_decimal(self):
+        assert parse_expression("2.5") == Const(2.5)
+
+    def test_scalar(self):
+        assert parse_expression("Q") == ScalarRef("Q")
+
+    def test_array_plain(self):
+        assert parse_expression("X[i]") == ArrayRef("X", 0)
+
+    def test_array_positive_offset(self):
+        assert parse_expression("Z[i+10]") == ArrayRef("Z", 10)
+
+    def test_array_negative_offset(self):
+        assert parse_expression("X[i-1]") == ArrayRef("X", -1)
+
+    def test_precedence(self):
+        expr = parse_expression("A + B * C")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expression("A - B - C")
+        assert expr.op == "-"
+        assert isinstance(expr.left, Binary)
+        assert expr.left.op == "-"
+
+    def test_parentheses(self):
+        expr = parse_expression("(A + B) * C")
+        assert expr.op == "*"
+        assert isinstance(expr.left, Binary) and expr.left.op == "+"
+
+    def test_unary_minus(self):
+        assert parse_expression("-X[i]") == Unary("neg", ArrayRef("X", 0))
+
+    def test_intrinsic(self):
+        assert parse_expression("sqrt(X[i])") == Unary("sqrt", ArrayRef("X", 0))
+
+    def test_non_intrinsic_call_is_error(self):
+        with pytest.raises(LoopIRError):
+            parse_expression("foo(X[i]) extra")
+
+    def test_bad_subscript_variable(self):
+        with pytest.raises(LoopIRError, match="loop *index"):
+            parse_expression("X[j]")
+
+    def test_non_integer_offset(self):
+        with pytest.raises(LoopIRError, match="integer"):
+            parse_expression("X[i+1.5]")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(LoopIRError, match="trailing"):
+            parse_expression("A + B )")
+
+    def test_untokenisable_input(self):
+        with pytest.raises(LoopIRError, match="tokenise"):
+            parse_expression("A @ B")
+
+
+class TestLoops:
+    def test_doall_header(self, l1_loop):
+        assert l1_loop.parallel
+        assert l1_loop.name == "L1"
+        assert len(l1_loop.statements) == 5
+
+    def test_do_header(self, l2_loop):
+        assert not l2_loop.parallel
+
+    def test_anonymous_loop(self):
+        loop = parse_loop("do:\n  X[i] = Y[i] + 1")
+        assert loop.name == "loop"
+
+    def test_comments_and_blank_lines_ignored(self):
+        loop = parse_loop(
+            "do:\n"
+            "\n"
+            "  # a comment line\n"
+            "  X[i] = Y[i] + 1  # trailing comment\n"
+        )
+        assert len(loop.statements) == 1
+
+    def test_scalar_target(self):
+        loop = parse_loop("do:\n  Q = Q + Z[i]")
+        assert loop.statements[0].target == ScalarRef("Q")
+
+    def test_bad_keyword(self):
+        with pytest.raises(LoopIRError, match="'do' or 'doall'"):
+            parse_loop("for:\n  X[i] = 1 + Y[i]")
+
+    def test_missing_colon(self):
+        with pytest.raises(LoopIRError):
+            parse_loop("do\n  X[i] = Y[i] + 1")
+
+    def test_header_with_wrong_symbol(self):
+        with pytest.raises(LoopIRError, match="expected ':'"):
+            parse_loop("do name =\n  X[i] = Y[i] + 1")
+
+    def test_offset_assignment_rejected(self):
+        with pytest.raises(LoopIRError, match="only assign"):
+            parse_loop("do:\n  X[i+1] = Y[i] + 1")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(LoopIRError):
+            parse_loop("do:\n")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(LoopIRError, match="empty"):
+            parse_loop("   \n  \n")
+
+    def test_trailing_tokens_after_statement(self):
+        with pytest.raises(LoopIRError, match="trailing"):
+            parse_loop("do:\n  X[i] = Y[i] + 1 2")
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(LoopIRError, match="twice"):
+            parse_loop("do:\n  X[i] = Y[i] + 1\n  X[i] = Y[i] + 2")
+
+    def test_round_trip_str(self, l1_loop):
+        text = str(l1_loop)
+        assert "doall i:" in text
+        assert "A[i] = (X[i] + 5)" in text

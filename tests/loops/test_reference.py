@@ -1,0 +1,54 @@
+"""The direct (sequential) reference evaluator."""
+
+import pytest
+
+from repro.errors import LoopIRError
+from repro.loops import parse_loop, reference_execute
+
+
+class TestReference:
+    def test_straight_line(self):
+        loop = parse_loop("do:\n  X[i] = Y[i] * 2")
+        out = reference_execute(loop, {"Y": [1, 2, 3]}, iterations=3)
+        assert out["X"] == [2, 4, 6]
+
+    def test_chained_statements(self, l1_loop):
+        arrays = {"X": [1], "Y": [10], "Z": [100], "W": [0]}
+        out = reference_execute(l1_loop, arrays, iterations=1)
+        assert out["A"] == [6]
+        assert out["B"] == [16]
+        assert out["C"] == [106]
+        assert out["D"] == [122]
+        assert out["E"] == [122]
+
+    def test_recurrence_with_boundary(self):
+        loop = parse_loop("do:\n  X[i] = X[i-1] + Y[i]")
+        out = reference_execute(
+            loop, {"Y": [1, 2, 3]}, iterations=3, boundary={"X": 10}
+        )
+        assert out["X"] == [11, 13, 16]
+
+    def test_accumulator(self):
+        loop = parse_loop("do:\n  Q = Q + Z[i]")
+        out = reference_execute(loop, {"Z": [1, 2, 3]}, iterations=3)
+        assert out["Q"] == [1, 3, 6]
+
+    def test_scalars_bound(self):
+        loop = parse_loop("do:\n  X[i] = Q * Y[i]")
+        out = reference_execute(loop, {"Y": [2]}, {"Q": 3}, iterations=1)
+        assert out["X"] == [6]
+
+    def test_unbound_scalar_raises(self):
+        loop = parse_loop("do:\n  X[i] = Q * Y[i]")
+        with pytest.raises(LoopIRError, match="unbound scalar"):
+            reference_execute(loop, {"Y": [2]}, iterations=1)
+
+    def test_missing_array_raises(self):
+        loop = parse_loop("do:\n  X[i] = Y[i] + 1")
+        with pytest.raises(LoopIRError, match="no input array"):
+            reference_execute(loop, {}, iterations=1)
+
+    def test_offsets(self):
+        loop = parse_loop("doall:\n  X[i] = Y[i+1] - Y[i]")
+        out = reference_execute(loop, {"Y": [1, 4, 9]}, iterations=2)
+        assert out["X"] == [3, 5]

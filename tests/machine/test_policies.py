@@ -1,0 +1,94 @@
+"""Conflict-resolution policies (Assumption 5.2.1)."""
+
+import pytest
+
+from repro.core import build_sdsp_scp_pn
+from repro.machine import FifoRunPlacePolicy, StaticPriorityPolicy
+from repro.petrinet import EarliestFiringSimulator, detect_frustum
+
+
+@pytest.fixture
+def l1_scp(l1_pn_abstract):
+    return build_sdsp_scp_pn(l1_pn_abstract, stages=4)
+
+
+def fifo_for(scp):
+    return FifoRunPlacePolicy(scp.net, scp.run_place, scp.priority_order())
+
+
+class TestFifoRunPlacePolicy:
+    def test_program_order_breaks_ties(self, l1_scp):
+        sim = EarliestFiringSimulator(
+            l1_scp.timed, l1_scp.initial, fifo_for(l1_scp)
+        )
+        record = sim.step()
+        issued = [f for f in record.fired if f in l1_scp.sdsp_transitions]
+        assert issued == ["A"]  # A first in program order
+
+    def test_queue_is_part_of_state_key(self, l1_scp):
+        policy = fifo_for(l1_scp)
+        sim = EarliestFiringSimulator(l1_scp.timed, l1_scp.initial, policy)
+        sim.step()
+        assert isinstance(policy.state_key(), tuple)
+
+    def test_fired_instructions_leave_queue(self, l1_scp):
+        policy = fifo_for(l1_scp)
+        sim = EarliestFiringSimulator(l1_scp.timed, l1_scp.initial, policy)
+        sim.step()
+        assert "A" not in policy.state_key()
+
+    def test_reset_clears_queue(self, l1_scp):
+        policy = fifo_for(l1_scp)
+        sim = EarliestFiringSimulator(l1_scp.timed, l1_scp.initial, policy)
+        sim.step()
+        policy.reset()
+        assert policy.state_key() == ()
+
+    def test_never_idles_when_work_ready(self, l1_scp):
+        """Assumption 5.2.1: the machine never idles while an
+        instruction is enabled."""
+        policy = fifo_for(l1_scp)
+        sim = EarliestFiringSimulator(l1_scp.timed, l1_scp.initial, policy)
+        instructions = set(l1_scp.sdsp_transitions)
+        for _ in range(60):
+            enabled_instructions = [
+                t for t in sim._enabled_idle() if t in instructions
+            ]
+            record = sim.step()
+            issued = [f for f in record.fired if f in instructions]
+            if enabled_instructions:
+                assert issued, f"machine idled at t={record.time}"
+
+    def test_frustum_exists_under_fifo(self, l1_scp):
+        frustum, _ = detect_frustum(
+            l1_scp.timed, l1_scp.initial, fifo_for(l1_scp)
+        )
+        assert frustum.length > 0
+
+
+class TestStaticPriorityPolicy:
+    def test_priority_respected(self, l1_scp):
+        policy = StaticPriorityPolicy(["E", "D", "C", "B", "A"])
+        assert policy.order(["A", "E", "C"]) == ["E", "C", "A"]
+
+    def test_unknown_transitions_sort_last(self):
+        policy = StaticPriorityPolicy(["x"])
+        assert policy.order(["zz", "x"]) == ["x", "zz"]
+
+    def test_frustum_exists_under_static_priority(self, l1_scp):
+        policy = StaticPriorityPolicy(list(reversed(l1_scp.sdsp_transitions)))
+        frustum, _ = detect_frustum(l1_scp.timed, l1_scp.initial, policy)
+        assert frustum.length > 0
+
+    def test_different_policies_same_steady_rate(self, l1_scp):
+        """Lemma 5.2.1 consequence: any deterministic policy reaches a
+        frustum; for this net all reach the same steady rate (the
+        recurrence-limited bound)."""
+        f_fifo, _ = detect_frustum(
+            l1_scp.timed, l1_scp.initial, fifo_for(l1_scp)
+        )
+        policy = StaticPriorityPolicy(list(reversed(l1_scp.sdsp_transitions)))
+        f_static, _ = detect_frustum(l1_scp.timed, l1_scp.initial, policy)
+        rate_fifo = f_fifo.computation_rate(l1_scp.sdsp_transitions[0])
+        rate_static = f_static.computation_rate(l1_scp.sdsp_transitions[0])
+        assert rate_fifo == rate_static

@@ -1,0 +1,113 @@
+"""The direct machine model cross-validates the SDSP-SCP-PN."""
+
+import pytest
+
+from repro.core import build_sdsp_pn, build_sdsp_scp_pn, derive_schedule
+from repro.errors import SimulationError
+from repro.loops import KERNELS
+from repro.machine import FifoRunPlacePolicy, ScpMachine
+from repro.petrinet import detect_frustum
+
+
+def net_steady_period(pn, stages):
+    scp = build_sdsp_scp_pn(pn, stages=stages)
+    policy = FifoRunPlacePolicy(scp.net, scp.run_place, scp.priority_order())
+    frustum, behavior = detect_frustum(scp.timed, scp.initial, policy)
+    return scp, frustum, behavior
+
+
+class TestDynamicExecution:
+    @pytest.mark.parametrize("key", ["loop1", "loop5", "loop7", "loop12"])
+    @pytest.mark.parametrize("stages", [1, 4, 8])
+    def test_machine_matches_net_steady_period(self, key, stages):
+        """The independent machine model reaches exactly the net's
+        steady-state rate — the PN is a faithful machine description."""
+        pn = build_sdsp_pn(KERNELS[key].translation().graph)
+        _, frustum, _ = net_steady_period(pn, stages)
+        machine = ScpMachine(pn, stages=stages)
+        run = machine.run_dynamic(iterations=60)
+        assert run.steady_period is not None
+        assert (
+            run.steady_iterations / run.steady_period
+            == frustum.transition_count(pn.net.transition_names[0])
+            / frustum.length
+        )
+
+    def test_one_issue_per_cycle(self, l1_pn_abstract):
+        machine = ScpMachine(l1_pn_abstract, stages=4)
+        run = machine.run_dynamic(iterations=20)
+        times = sorted(run.issue_times.values())
+        assert len(times) == len(set(times))  # no two issues share a cycle
+
+    def test_every_iteration_issued(self, l1_pn_abstract):
+        machine = ScpMachine(l1_pn_abstract, stages=2)
+        run = machine.run_dynamic(iterations=10)
+        for name in machine.instructions:
+            for iteration in range(10):
+                assert (name, iteration) in run.issue_times
+
+    def test_utilization_bounded_by_one(self, l1_pn_abstract):
+        run = ScpMachine(l1_pn_abstract, stages=8).run_dynamic(iterations=30)
+        assert 0 < run.utilization <= 1
+
+    def test_bad_stage_count(self, l1_pn_abstract):
+        with pytest.raises(SimulationError, match="at least one stage"):
+            ScpMachine(l1_pn_abstract, stages=0)
+
+
+class TestScheduleReplay:
+    def test_replay_of_derived_schedule_passes(self, l1_pn_abstract):
+        stages = 8
+        scp, frustum, behavior = net_steady_period(l1_pn_abstract, stages)
+        schedule = derive_schedule(
+            frustum, behavior, instructions=scp.sdsp_transitions
+        )
+        machine = ScpMachine(l1_pn_abstract, stages=stages)
+        run = machine.run_schedule(schedule, iterations=12)
+        assert run.issues == 12 * len(machine.instructions)
+
+    def test_replay_rejects_double_issue(self, l1_pn_abstract):
+        from repro.core import PipelinedSchedule
+
+        schedule = PipelinedSchedule(
+            prologue=[],
+            kernel=[(0, "A", 0), (0, "B", 0), (1, "C", 0), (2, "D", 0), (3, "E", 0)],
+            start_time=0,
+            initiation_interval=16,
+            iterations_per_kernel=1,
+            instructions=("A", "B", "C", "D", "E"),
+        )
+        machine = ScpMachine(l1_pn_abstract, stages=8)
+        with pytest.raises(SimulationError, match="two instructions"):
+            machine.run_schedule(schedule, iterations=2)
+
+    def test_replay_rejects_latency_violation(self, l1_pn_abstract):
+        from repro.core import PipelinedSchedule
+
+        # B reads A one cycle after issue; the pipeline needs 8.
+        schedule = PipelinedSchedule(
+            prologue=[],
+            kernel=[(0, "A", 0), (1, "B", 0), (2, "C", 0), (3, "D", 0), (4, "E", 0)],
+            start_time=0,
+            initiation_interval=40,
+            iterations_per_kernel=1,
+            instructions=("A", "B", "C", "D", "E"),
+        )
+        machine = ScpMachine(l1_pn_abstract, stages=8)
+        with pytest.raises(SimulationError, match="not ready"):
+            machine.run_schedule(schedule, iterations=2)
+
+    def test_empty_schedule_rejected(self, l1_pn_abstract):
+        from repro.core import PipelinedSchedule
+
+        schedule = PipelinedSchedule(
+            prologue=[],
+            kernel=[(0, "Z", 0)],
+            start_time=0,
+            initiation_interval=1,
+            iterations_per_kernel=1,
+            instructions=("Z",),
+        )
+        machine = ScpMachine(l1_pn_abstract, stages=2)
+        with pytest.raises(SimulationError, match="no machine instructions"):
+            machine.run_schedule(schedule, iterations=1)

@@ -1,0 +1,131 @@
+"""Behavior graphs and cyclic-frustum detection (Section 3.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.petrinet import (
+    FrustumDetector,
+    Marking,
+    PetriNet,
+    TimedPetriNet,
+    detect_frustum,
+)
+from repro.petrinet.behavior import PlaceInstance, TransitionInstance
+
+
+class TestFrustumDetection:
+    def test_pair_cycle_frustum(self, pair_net):
+        net, initial = pair_net
+        frustum, behavior = detect_frustum(TimedPetriNet.unit(net), initial)
+        assert frustum.length == 2
+        assert frustum.firing_counts == {"t1": 1, "t2": 1}
+        assert frustum.uniform_rate() == Fraction(1, 2)
+
+    def test_frustum_state_repeats(self, pair_net):
+        net, initial = pair_net
+        frustum, _ = detect_frustum(TimedPetriNet.unit(net), initial)
+        # the repeated state's marking must be a reachable marking of
+        # the cycle: either all tokens on p21 or on p12
+        marking = frustum.state.marking
+        assert marking in (Marking({"p21": 1}), Marking({"p12": 1}))
+
+    def test_transition_count_uniform(self, pair_net):
+        net, initial = pair_net
+        frustum, _ = detect_frustum(TimedPetriNet.unit(net), initial)
+        assert frustum.transition_count() == 1
+        assert frustum.transition_count("t1") == 1
+
+    def test_computation_rate_per_transition(self, pair_net):
+        net, initial = pair_net
+        frustum, _ = detect_frustum(TimedPetriNet.unit(net), initial)
+        assert frustum.computation_rate("t1") == Fraction(1, 2)
+
+    def test_deadlocked_net_raises(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        with pytest.raises(SimulationError, match="deadlock"):
+            detect_frustum(TimedPetriNet.unit(net), Marking({"p": 1}))
+
+    def test_budget_exhaustion_raises(self, pair_net):
+        net, initial = pair_net
+        detector = FrustumDetector(TimedPetriNet.unit(net), initial)
+        with pytest.raises(SimulationError, match="no repeated"):
+            detector.detect(max_steps=0)
+
+    def test_l1_frustum_matches_paper(self, l1_pn_abstract):
+        """Figure 1(e): period 2, every node once per period."""
+        frustum, _ = detect_frustum(
+            l1_pn_abstract.timed, l1_pn_abstract.initial
+        )
+        assert frustum.length == 2
+        assert frustum.transition_count() == 1
+        assert frustum.uniform_rate() == Fraction(1, 2)
+
+    def test_l2_frustum_matches_paper(self, l2_pn_abstract):
+        """The critical cycle C->D->E->C gives period 3 (rate 1/3)."""
+        frustum, _ = detect_frustum(
+            l2_pn_abstract.timed, l2_pn_abstract.initial
+        )
+        assert frustum.uniform_rate() == Fraction(1, 3)
+
+    def test_multi_token_cycle_detects_longer_kernel(self):
+        # three transitions, 2 tokens: rate 2/3, so the frustum covers
+        # 2 firings per transition in 3 cycles.
+        net = PetriNet()
+        for name in ("a", "b", "c"):
+            net.add_transition(name)
+        for src, dst, place in (("a", "b", "ab"), ("b", "c", "bc"), ("c", "a", "ca")):
+            net.add_place(place)
+            net.add_arc(src, place)
+            net.add_arc(place, dst)
+        frustum, _ = detect_frustum(
+            TimedPetriNet.unit(net), Marking({"ca": 1, "ab": 1})
+        )
+        assert frustum.uniform_rate() == Fraction(2, 3)
+
+
+class TestBehaviorGraph:
+    def test_steps_record_firings(self, pair_net):
+        net, initial = pair_net
+        _, behavior = detect_frustum(TimedPetriNet.unit(net), initial)
+        assert behavior.steps[0].fired == ("t1",)
+        assert behavior.steps[0].time == 0
+
+    def test_newly_marked_places(self, pair_net):
+        net, initial = pair_net
+        _, behavior = detect_frustum(TimedPetriNet.unit(net), initial)
+        assert "p12" in behavior.steps[1].newly_marked
+
+    def test_consumption_arcs_reference_token_births(self, pair_net):
+        net, initial = pair_net
+        detector = FrustumDetector(TimedPetriNet.unit(net), initial)
+        detector.detect(100)
+        t1_first = TransitionInstance("t1", 0)
+        assert detector.graph.consumptions[t1_first] == (
+            PlaceInstance("p21", 0),
+        )
+
+    def test_production_arcs(self, pair_net):
+        net, initial = pair_net
+        detector = FrustumDetector(TimedPetriNet.unit(net), initial)
+        detector.detect(100)
+        t1_first = TransitionInstance("t1", 0)
+        assert detector.graph.productions[t1_first] == (
+            PlaceInstance("p12", 1),
+        )
+
+    def test_firing_counts_window(self, pair_net):
+        net, initial = pair_net
+        _, behavior = detect_frustum(TimedPetriNet.unit(net), initial)
+        counts = behavior.firing_counts(0, 2)
+        assert counts == {"t1": 1, "t2": 1}
+
+    def test_fired_between(self, pair_net):
+        net, initial = pair_net
+        _, behavior = detect_frustum(TimedPetriNet.unit(net), initial)
+        window = behavior.fired_between(0, 1)
+        assert window == [(0, ("t1",))]

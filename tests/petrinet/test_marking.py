@@ -1,0 +1,113 @@
+"""Markings: value semantics, arithmetic, and the untimed firing rule."""
+
+import pytest
+
+from repro.errors import FiringError, MarkingError
+from repro.petrinet import Marking, PetriNet, enabled_transitions, fire
+
+
+class TestValueSemantics:
+    def test_zero_counts_normalised_away(self):
+        assert Marking({"p": 0}) == Marking({})
+        assert len(Marking({"p": 0})) == 0
+
+    def test_equality_and_hash(self):
+        a = Marking({"p": 1, "q": 2})
+        b = Marking({"q": 2, "p": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Marking({"p": 1}) != Marking({"p": 2})
+
+    def test_compares_with_plain_mapping(self):
+        assert Marking({"p": 1}) == {"p": 1, "q": 0}
+
+    def test_getitem_defaults_to_zero(self):
+        assert Marking({})["anything"] == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MarkingError, match="negative"):
+            Marking({"p": -1})
+
+    def test_unknown_place_rejected_with_net(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(MarkingError, match="unknown place"):
+            Marking({"q": 1}, net)
+
+    def test_known_place_accepted_with_net(self):
+        net = PetriNet()
+        net.add_place("p")
+        assert Marking({"p": 2}, net)["p"] == 2
+
+    def test_usable_as_dict_key(self):
+        table = {Marking({"p": 1}): "hit"}
+        assert table[Marking({"p": 1})] == "hit"
+
+
+class TestArithmetic:
+    def test_total(self):
+        assert Marking({"p": 2, "q": 3}).total() == 5
+
+    def test_with_delta_adds_and_removes(self):
+        marking = Marking({"p": 1})
+        updated = marking.with_delta({"p": -1, "q": 2})
+        assert updated == Marking({"q": 2})
+        # original untouched (immutability)
+        assert marking == Marking({"p": 1})
+
+    def test_with_delta_underflow_rejected(self):
+        with pytest.raises(MarkingError, match="would become"):
+            Marking({"p": 1}).with_delta({"p": -2})
+
+    def test_dominates(self):
+        assert Marking({"p": 2, "q": 1}).dominates(Marking({"p": 1}))
+        assert not Marking({"p": 1}).dominates(Marking({"q": 1}))
+
+    def test_strictly_dominates(self):
+        assert Marking({"p": 2}).strictly_dominates(Marking({"p": 1}))
+        assert not Marking({"p": 1}).strictly_dominates(Marking({"p": 1}))
+
+    def test_restricted_to(self):
+        marking = Marking({"p": 1, "q": 2})
+        assert marking.restricted_to(["q"]) == Marking({"q": 2})
+
+    def test_as_tuple_fixed_order(self):
+        marking = Marking({"b": 2})
+        assert marking.as_tuple(["a", "b", "c"]) == (0, 2, 0)
+
+
+class TestFiringRule:
+    def test_enabled_transitions(self, pair_net):
+        net, initial = pair_net
+        assert enabled_transitions(net, initial) == ("t1",)
+
+    def test_fire_moves_token(self, pair_net):
+        net, initial = pair_net
+        after = fire(net, initial, "t1")
+        assert after == Marking({"p12": 1})
+
+    def test_fire_disabled_raises(self, pair_net):
+        net, initial = pair_net
+        with pytest.raises(FiringError, match="not enabled"):
+            fire(net, initial, "t2")
+
+    def test_fire_round_trip_restores_marking(self, pair_net):
+        net, initial = pair_net
+        after = fire(net, fire(net, initial, "t1"), "t2")
+        assert after == initial
+
+    def test_source_transition_always_enabled(self):
+        net = PetriNet()
+        net.add_transition("src")
+        net.add_place("out")
+        net.add_arc("src", "out")
+        assert enabled_transitions(net, Marking({})) == ("src",)
+        assert fire(net, Marking({}), "src") == Marking({"out": 1})
+
+    def test_enabled_preserves_declaration_order(self):
+        net = PetriNet()
+        net.add_transition("zz")
+        net.add_transition("aa")
+        assert enabled_transitions(net, Marking({})) == ("zz", "aa")

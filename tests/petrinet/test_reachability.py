@@ -1,0 +1,80 @@
+"""Reachability exploration: completeness, unboundedness, truncation."""
+
+import pytest
+
+from repro.petrinet import Marking, PetriNet, explore
+
+
+def producer_consumer_net():
+    """t_prod feeds p; t_cons drains it — unbounded without a brake."""
+    net = PetriNet()
+    net.add_transition("prod")
+    net.add_transition("cons")
+    net.add_place("buf")
+    net.add_arc("prod", "buf")
+    net.add_arc("buf", "cons")
+    return net
+
+
+class TestExplore:
+    def test_pair_cycle_has_two_markings(self, pair_net):
+        net, initial = pair_net
+        graph = explore(net, initial)
+        assert graph.complete
+        assert len(graph.markings) == 2
+        assert len(graph.edges) == 2
+
+    def test_initial_marking_recorded_first(self, pair_net):
+        net, initial = pair_net
+        graph = explore(net, initial)
+        assert graph.markings[0] == initial
+
+    def test_unbounded_net_detected(self):
+        net = producer_consumer_net()
+        graph = explore(net, Marking({}))
+        assert graph.unbounded
+        assert not graph.complete
+
+    def test_bounded_with_brake(self):
+        net = producer_consumer_net()
+        # close the loop: cons returns a credit that prod needs
+        net.add_place("credit")
+        net.add_arc("cons", "credit")
+        net.add_arc("credit", "prod")
+        graph = explore(net, Marking({"credit": 1}))
+        assert graph.complete
+        assert all(m["buf"] <= 1 for m in graph.markings)
+
+    def test_truncation_budget(self, pair_net):
+        net, initial = pair_net
+        graph = explore(net, initial, max_markings=1)
+        assert graph.truncated
+        assert not graph.complete
+
+    def test_successors(self, pair_net):
+        net, initial = pair_net
+        graph = explore(net, initial)
+        successors = graph.successors(initial)
+        assert len(successors) == 1
+        assert successors[0][0] == "t1"
+
+    def test_transitions_fired(self, pair_net):
+        net, initial = pair_net
+        graph = explore(net, initial)
+        assert graph.transitions_fired() == {"t1", "t2"}
+
+    def test_max_tokens(self, pair_net):
+        net, initial = pair_net
+        graph = explore(net, initial)
+        assert graph.max_tokens("p12") == 1
+        assert graph.max_tokens("p21") == 1
+
+    def test_dead_net_single_marking(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        graph = explore(net, Marking({}))
+        assert graph.complete
+        assert len(graph.markings) == 1
+        assert graph.edges == []

@@ -1,0 +1,176 @@
+"""The earliest-firing simulator: step semantics, non-reentrance,
+policies and deadlock handling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.petrinet import (
+    EarliestFiringSimulator,
+    Marking,
+    PetriNet,
+    TimedPetriNet,
+)
+from repro.petrinet.simulator import ConflictResolutionPolicy
+
+
+def pipeline_net():
+    """src -> p -> dst, with an ack brake so it is live and safe."""
+    net = PetriNet()
+    net.add_transition("src")
+    net.add_transition("dst")
+    net.add_place("data")
+    net.add_place("ack")
+    net.add_arc("src", "data")
+    net.add_arc("data", "dst")
+    net.add_arc("dst", "ack")
+    net.add_arc("ack", "src")
+    return net, Marking({"ack": 1})
+
+
+class TestStepSemantics:
+    def test_initial_enabled_fire_at_time_zero(self):
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), initial)
+        record = sim.step()
+        assert record.time == 0
+        assert record.fired == ("src",)
+        assert record.completed == ()
+
+    def test_completion_deposits_then_next_fires(self):
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), initial)
+        sim.step()  # src fires at 0
+        record = sim.step()  # at 1: src completes, dst fires
+        assert record.completed == ("src",)
+        assert record.fired == ("dst",)
+
+    def test_steady_alternation(self):
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), initial)
+        for _ in range(20):
+            sim.step()
+        # each fires every 2 cycles
+        assert sim.total_firings["src"] == 10
+        assert sim.total_firings["dst"] == 10
+
+    def test_durations_respected(self):
+        net, initial = pipeline_net()
+        timed = TimedPetriNet(net, {"src": 3, "dst": 1})
+        sim = EarliestFiringSimulator(timed, initial)
+        sim.step()  # src starts at 0, finishes at 3
+        assert sim.residuals() == {"src": 2}
+        sim.step()
+        sim.step()
+        record = sim.step()  # time 3: completion
+        assert record.completed == ("src",)
+        assert record.fired == ("dst",)
+
+    def test_non_reentrance(self):
+        # A source transition with no inputs may fire at most once per
+        # cycle even though it is permanently enabled (Assumption A.6.1).
+        net = PetriNet()
+        net.add_transition("t")
+        net.add_place("out")
+        net.add_arc("t", "out")
+        timed = TimedPetriNet(net, {"t": 3})
+        sim = EarliestFiringSimulator(timed, Marking({}))
+        for _ in range(9):
+            sim.step()
+        assert sim.total_firings["t"] == 3  # one per 3 cycles, not 9
+
+    def test_snapshot_is_post_completion_pre_firing(self):
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), initial)
+        first = sim.step()
+        assert first.state.marking == initial
+        second = sim.step()
+        # after src's completion, before dst fires
+        assert second.state.marking == Marking({"data": 1})
+
+    def test_reset(self):
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), initial)
+        sim.step()
+        sim.reset()
+        assert sim.time == 0
+        assert sim.marking == initial
+        assert sim.total_firings["src"] == 0
+
+
+class TestDeadlockAndRun:
+    def test_deadlock_detection(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), Marking({}))
+        assert sim.is_deadlocked()
+
+    def test_run_stops_on_deadlock(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), Marking({"p": 1}))
+        records = sim.run(100)
+        assert len(records) == 2  # fire at 0, completion seen at 1, then dead
+
+    def test_run_with_stop_condition(self):
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), initial)
+        records = sim.run(100, stop=lambda r: "dst" in r.fired)
+        assert "dst" in records[-1].fired
+
+    def test_run_raises_when_stop_never_met(self):
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(TimedPetriNet.unit(net), initial)
+        with pytest.raises(SimulationError, match="stop condition"):
+            sim.run(10, stop=lambda r: False)
+
+
+class TestPolicies:
+    def test_policy_resolves_conflict_greedily(self):
+        # two transitions share one token; default policy fires the
+        # first in declaration order, re-check blocks the second.
+        net = PetriNet()
+        net.add_place("shared")
+        net.add_transition("a")
+        net.add_transition("b")
+        net.add_arc("shared", "a")
+        net.add_arc("shared", "b")
+        net.add_arc("a", "shared")
+        net.add_arc("b", "shared")
+        sim = EarliestFiringSimulator(
+            TimedPetriNet.unit(net), Marking({"shared": 1})
+        )
+        record = sim.step()
+        assert record.fired == ("a",)
+
+    def test_custom_policy_order(self):
+        class PreferB(ConflictResolutionPolicy):
+            def order(self, candidates):
+                return sorted(candidates, reverse=True)
+
+        net = PetriNet()
+        net.add_place("shared")
+        net.add_transition("a")
+        net.add_transition("b")
+        net.add_arc("shared", "a")
+        net.add_arc("shared", "b")
+        net.add_arc("a", "shared")
+        net.add_arc("b", "shared")
+        sim = EarliestFiringSimulator(
+            TimedPetriNet.unit(net), Marking({"shared": 1}), PreferB()
+        )
+        assert sim.step().fired == ("b",)
+
+    def test_policy_state_key_in_snapshot(self):
+        class Keyed(ConflictResolutionPolicy):
+            def state_key(self):
+                return ("custom",)
+
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(
+            TimedPetriNet.unit(net), initial, Keyed()
+        )
+        assert sim.step().state.policy_key == ("custom",)

@@ -1,0 +1,84 @@
+"""Timed nets and instantaneous states (Appendix A.6)."""
+
+import pytest
+
+from repro.errors import NetConstructionError
+from repro.petrinet import (
+    InstantaneousState,
+    Marking,
+    PetriNet,
+    TimedPetriNet,
+    is_live,
+    is_safe,
+)
+
+
+class TestTimedPetriNet:
+    def test_unit_durations(self, pair_net):
+        net, _ = pair_net
+        timed = TimedPetriNet.unit(net)
+        assert timed.duration("t1") == 1
+        assert timed.duration("t2") == 1
+
+    def test_missing_duration_rejected(self, pair_net):
+        net, _ = pair_net
+        with pytest.raises(NetConstructionError, match="no execution time"):
+            TimedPetriNet(net, {"t1": 1})
+
+    def test_unknown_transition_duration_rejected(self, pair_net):
+        net, _ = pair_net
+        with pytest.raises(NetConstructionError, match="unknown transition"):
+            TimedPetriNet(net, {"t1": 1, "t2": 1, "ghost": 1})
+
+    def test_zero_duration_rejected(self, pair_net):
+        net, _ = pair_net
+        with pytest.raises(NetConstructionError, match=">= 1"):
+            TimedPetriNet(net, {"t1": 0, "t2": 1})
+
+    def test_explicit_self_loops_materialised(self, pair_net):
+        net, initial = pair_net
+        timed = TimedPetriNet.unit(net).with_explicit_self_loops()
+        assert timed.net.has_place("selfloop[t1]")
+        assert timed.net.input_places("t1") == ("p21", "selfloop[t1]")
+        marking = timed.self_loop_marking(initial)
+        assert marking["selfloop[t1]"] == 1
+        assert marking["p21"] == 1
+
+    def test_self_looped_net_still_live_and_safe(self, pair_net):
+        net, initial = pair_net
+        timed = TimedPetriNet.unit(net).with_explicit_self_loops()
+        marking = timed.self_loop_marking(initial)
+        assert is_live(timed.net, marking)
+        assert is_safe(timed.net, marking)
+
+
+class TestInstantaneousState:
+    def test_make_drops_zero_residuals(self):
+        state = InstantaneousState.make(Marking({"p": 1}), {"t": 0, "u": 2})
+        assert state.residuals == (("u", 2),)
+        assert state.residual_of("u") == 2
+        assert state.residual_of("t") == 0
+
+    def test_quiescence(self):
+        quiet = InstantaneousState.make(Marking({}), {})
+        busy = InstantaneousState.make(Marking({}), {"t": 1})
+        assert quiet.is_quiescent
+        assert not busy.is_quiescent
+
+    def test_value_semantics(self):
+        a = InstantaneousState.make(Marking({"p": 1}), {"t": 1})
+        b = InstantaneousState.make(Marking({"p": 1}), {"t": 1})
+        c = InstantaneousState.make(Marking({"p": 1}), {"t": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_policy_key_distinguishes_states(self):
+        a = InstantaneousState.make(Marking({}), {}, policy_key=("x",))
+        b = InstantaneousState.make(Marking({}), {}, policy_key=("y",))
+        assert a != b
+
+    def test_residual_order_canonical(self):
+        a = InstantaneousState.make(Marking({}), {"b": 1, "a": 2})
+        b = InstantaneousState.make(Marking({}), {"a": 2, "b": 1})
+        assert a == b

@@ -1,0 +1,57 @@
+"""Graphviz DOT export."""
+
+import pytest
+
+from repro.report import dataflow_to_dot, petri_net_to_dot
+
+
+class TestDataflowDot:
+    def test_header_and_nodes(self, l1_graph):
+        dot = dataflow_to_dot(l1_graph)
+        assert dot.startswith('digraph "L1"')
+        assert '"A"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_feedback_arcs_dashed(self, l2_graph):
+        dot = dataflow_to_dot(l2_graph)
+        assert "style=dashed" in dot
+        assert 'label="d=1"' in dot
+
+    def test_actor_shapes(self, l1_graph):
+        dot = dataflow_to_dot(l1_graph)
+        assert "shape=invhouse" in dot  # loads
+        assert "shape=house" in dot     # stores
+
+    def test_quoting(self):
+        from repro.dataflow import GraphBuilder
+
+        b = GraphBuilder('na"me')
+        b.load("x", "X")
+        b.store("st", "OUT", "x")
+        dot = dataflow_to_dot(b.build())
+        assert '\\"' in dot
+
+
+class TestPetriNetDot:
+    def test_transitions_and_places(self, l1_pn_abstract):
+        dot = petri_net_to_dot(
+            l1_pn_abstract.net, l1_pn_abstract.initial, l1_pn_abstract.durations
+        )
+        assert '"A" [label="A", shape=box' in dot
+        assert "shape=circle" in dot
+
+    def test_marked_places_show_tokens(self, l1_pn_abstract):
+        dot = petri_net_to_dot(l1_pn_abstract.net, l1_pn_abstract.initial)
+        assert "&bull;" in dot
+
+    def test_ack_places_colored(self, l1_pn_abstract):
+        dot = petri_net_to_dot(l1_pn_abstract.net, l1_pn_abstract.initial)
+        assert "steelblue" in dot
+
+    def test_dummy_transitions_filled(self, l1_pn_abstract):
+        from repro.core import build_sdsp_scp_pn
+
+        scp = build_sdsp_scp_pn(l1_pn_abstract, stages=4)
+        dot = petri_net_to_dot(scp.net, scp.initial, scp.durations)
+        assert "lightgrey" in dot
+        assert "tau=3" in dot

@@ -1,0 +1,76 @@
+"""ASCII figure renderings."""
+
+import pytest
+
+from repro.core import derive_schedule
+from repro.petrinet import detect_frustum
+from repro.report import (
+    render_behavior_graph,
+    render_dataflow_graph,
+    render_petri_net,
+    render_schedule,
+)
+
+
+@pytest.fixture
+def l1_artifacts(l1_pn_abstract):
+    frustum, behavior = detect_frustum(
+        l1_pn_abstract.timed, l1_pn_abstract.initial
+    )
+    return l1_pn_abstract, frustum, behavior
+
+
+class TestRenderDataflow:
+    def test_lists_actors_and_wiring(self, l1_graph):
+        text = render_dataflow_graph(l1_graph)
+        assert "dataflow graph 'L1'" in text
+        assert "A:" in text
+        assert "-> B" in text or "B" in text
+
+    def test_marks_carried_arcs(self, l2_graph):
+        text = render_dataflow_graph(l2_graph)
+        assert "(carried)" in text
+
+
+class TestRenderPetriNet:
+    def test_transitions_and_places_listed(self, l1_artifacts):
+        pn, _, _ = l1_artifacts
+        text = render_petri_net(pn.net, pn.initial, pn.durations)
+        assert "5 transitions, 10 places" in text
+        assert "t A" in text
+        assert "(tau=1)" in text
+
+    def test_tokens_shown_as_stars(self, l1_artifacts):
+        pn, _, _ = l1_artifacts
+        text = render_petri_net(pn.net, pn.initial)
+        assert "-(*)->" in text  # marked ack places
+
+    def test_annotations_shown(self, l1_artifacts):
+        pn, _, _ = l1_artifacts
+        text = render_petri_net(pn.net, pn.initial)
+        assert "[ack]" in text and "[data]" in text
+
+
+class TestRenderBehaviorGraph:
+    def test_frustum_boundaries_marked(self, l1_artifacts):
+        _, frustum, behavior = l1_artifacts
+        text = render_behavior_graph(behavior, frustum)
+        assert "initial instantaneous state" in text
+        assert "cyclic frustum" in text
+
+    def test_limit_truncates(self, l1_artifacts):
+        _, frustum, behavior = l1_artifacts
+        text = render_behavior_graph(behavior, frustum, limit=1)
+        body_lines = [l for l in text.splitlines() if l.startswith("   ")]
+        assert len(body_lines) <= 3
+
+
+class TestRenderSchedule:
+    def test_kernel_rows_and_rate(self, l1_artifacts):
+        _, frustum, behavior = l1_artifacts
+        schedule = derive_schedule(frustum, behavior)
+        text = render_schedule(schedule)
+        assert "II=2" in text
+        assert "rate=1/2" in text
+        assert "kernel" in text
+        assert "prologue" in text

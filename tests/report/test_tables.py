@@ -1,0 +1,60 @@
+"""Table formatting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.report import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_fraction(self):
+        assert format_cell(Fraction(1, 3)) == "1/3"
+        assert format_cell(Fraction(4, 2)) == "2"
+
+    def test_float_three_decimals(self):
+        assert format_cell(0.123456) == "0.123"
+
+    def test_plain_string(self):
+        assert format_cell("loop1") == "loop1"
+
+
+class TestRenderTable:
+    def test_header_and_rule(self):
+        text = render_table(["a", "bb"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_column_width_fits_cells(self):
+        text = render_table(["h"], [["wide-cell"]])
+        assert "wide-cell" in text
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["name", "count"], [["x", 5], ["yyyy", 123]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  5".rjust(5)[-3:]) or "5" in rows[0]
+        # the numeric column is right aligned: 5 and 123 end at the
+        # same column
+        assert rows[0].rstrip().endswith("5")
+        assert rows[1].rstrip().endswith("123")
+        assert len(rows[0].rstrip()) == len(rows[1].rstrip())
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_fraction_cells(self):
+        text = render_table(["rate"], [[Fraction(1, 2)]])
+        assert "1/2" in text

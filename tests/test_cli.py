@@ -1,0 +1,110 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import L1_SOURCE, L2_SOURCE
+
+
+@pytest.fixture
+def l2_file(tmp_path):
+    path = tmp_path / "l2.loop"
+    path.write_text(L2_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def scalar_file(tmp_path):
+    path = tmp_path / "scaled.loop"
+    path.write_text("do s:\n  X[i] = Q * Y[i] + X[i-1]\n")
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    status = main(argv, out=out)
+    return status, out.getvalue()
+
+
+class TestSchedule:
+    def test_basic(self, l2_file):
+        status, text = run(["schedule", l2_file, "--abstract"])
+        assert status == 0
+        assert "II=3" in text
+        assert "optimal rate 1/3" in text
+
+    def test_with_stages(self, l2_file):
+        status, text = run(["schedule", l2_file, "--abstract", "--stages", "2"])
+        assert status == 0
+        assert "clean pipeline" in text
+        assert "utilisation" in text
+
+    def test_scalars_bound(self, scalar_file):
+        status, text = run(["schedule", scalar_file, "--scalar", "Q=2.5"])
+        assert status == 0
+
+    def test_missing_scalar_fails(self, scalar_file):
+        status, _ = run(["schedule", scalar_file])
+        assert status == 1
+
+    def test_bad_scalar_syntax_fails(self, scalar_file):
+        status, _ = run(["schedule", scalar_file, "--scalar", "Q"])
+        assert status == 1
+
+    def test_missing_file(self):
+        status, _ = run(["schedule", "/nonexistent/loop.txt"])
+        assert status == 2
+
+
+class TestAnalyze:
+    def test_reports_classification_and_cycles(self, l2_file):
+        status, text = run(["analyze", l2_file, "--abstract"])
+        assert status == 0
+        assert "loop-carried" in text
+        assert "E -> C (carried, distance 1)" in text
+        assert "cycle time     : 3" in text
+        # the cycle may be reported starting from any of its nodes
+        assert any(
+            f"critical: {rotation}" in text
+            for rotation in ("C -> D -> E", "D -> E -> C", "E -> C -> D")
+        )
+
+    def test_doall_classification(self, tmp_path):
+        path = tmp_path / "l1.loop"
+        path.write_text(L1_SOURCE)
+        status, text = run(["analyze", str(path), "--abstract"])
+        assert status == 0
+        assert "DOALL" in text
+
+
+class TestStorage:
+    def test_reports_savings_and_balance(self, l2_file):
+        status, text = run(["storage", l2_file, "--abstract"])
+        assert status == 0
+        assert "6 -> 4" in text
+        assert "cycle time preserved at 3" in text
+        assert "buffer balancing" in text
+
+
+class TestDot:
+    def test_dataflow_dot(self, l2_file):
+        status, text = run(["dot", l2_file])
+        assert status == 0
+        assert text.startswith("digraph")
+        assert "style=dashed" in text
+
+    def test_net_dot(self, l2_file):
+        status, text = run(["dot", l2_file, "--what", "net", "--abstract"])
+        assert status == 0
+        assert "shape=circle" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_entry_point_importable(self):
+        import repro.__main__  # noqa: F401

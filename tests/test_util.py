@@ -1,0 +1,66 @@
+"""The shared helpers in repro._util."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro._util import (
+    format_fraction,
+    fresh_name,
+    snap_to_fraction,
+    stable_topological_order,
+)
+
+
+class TestFreshName:
+    def test_unused_base_returned(self):
+        assert fresh_name("x", ["y"]) == "x"
+
+    def test_suffix_added(self):
+        assert fresh_name("x", ["x"]) == "x_2"
+
+    def test_suffix_skips_taken(self):
+        assert fresh_name("x", ["x", "x_2"]) == "x_3"
+
+    def test_generator_input(self):
+        assert fresh_name("x", (n for n in ["x"])) == "x_2"
+
+
+class TestSnapToFraction:
+    def test_exact_recovery(self):
+        assert snap_to_fraction(1 / 3, 10) == Fraction(1, 3)
+
+    def test_denominator_cap(self):
+        assert snap_to_fraction(0.333, 2) == Fraction(1, 2) or snap_to_fraction(
+            0.333, 2
+        ) == Fraction(1, 3)  # limit_denominator(2) gives 1/2? no: nearest
+        # be explicit: with cap 2, candidates are 0, 1/2, 1 — nearest 1/2
+        assert snap_to_fraction(0.333, 2).denominator <= 2
+
+    def test_bad_cap(self):
+        with pytest.raises(ValueError):
+            snap_to_fraction(0.5, 0)
+
+
+class TestStableTopologicalOrder:
+    def test_respects_edges(self):
+        order = stable_topological_order(
+            ["c", "b", "a"], [("a", "b"), ("b", "c")]
+        )
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_input_order(self):
+        order = stable_topological_order(["z", "a", "m"], [])
+        assert order == ["z", "a", "m"]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            stable_topological_order(["a", "b"], [("a", "b"), ("b", "a")])
+
+
+class TestFormatFraction:
+    def test_integer(self):
+        assert format_fraction(Fraction(4, 2)) == "2"
+
+    def test_proper(self):
+        assert format_fraction(Fraction(2, 3)) == "2/3"
