@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: verify test smoke bench clean
+
+verify: test smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -m repro trace examples/l1.loop --abstract -o /tmp/l1.trace.json
+	$(PYTHON) -m repro trace examples/l2.loop --abstract --format jsonl -o /tmp/l2.trace.jsonl
+	$(PYTHON) -m repro schedule examples/l2.loop --abstract --profile
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+clean:
+	rm -f /tmp/l1.trace.json /tmp/l2.trace.jsonl
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -21,7 +21,7 @@ from fractions import Fraction
 
 import pytest
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import phase_timings, save_artifact, save_json
 from repro.core import build_sdsp_pn, optimal_rate
 from repro.loops import KERNELS, parse_loop, translate
 from repro.petrinet import detect_frustum
@@ -60,7 +60,7 @@ def ablation_rows():
     return rows
 
 
-def test_buffer_ablation_report(benchmark):
+def test_buffer_ablation_report(benchmark, phase_registry):
     benchmark.group = "reports"
     rows = benchmark.pedantic(ablation_rows, rounds=1, iterations=1)
     text = render_table(
@@ -73,6 +73,15 @@ def test_buffer_ablation_report(benchmark):
         ),
     )
     save_artifact("ablation_buffer_capacity.txt", text)
+    save_json(
+        "ablation_buffer_capacity.json",
+        {
+            "bench": "ablation_buffer_capacity",
+            "capacities": CAPACITIES,
+            "rates": {row[0]: [str(rate) for rate in row[1:]] for row in rows},
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
 
     by_label = {row[0]: row[1:] for row in rows}
     # DOALL: 1/2 -> 1, then flat.

@@ -24,7 +24,12 @@ from fractions import Fraction
 
 import pytest
 
-from benchmarks.conftest import PIPELINE_STAGES, save_artifact
+from benchmarks.conftest import (
+    PIPELINE_STAGES,
+    phase_timings,
+    save_artifact,
+    save_json,
+)
 from repro.baselines import (
     DependenceGraph,
     aiken_nicolau_schedule,
@@ -75,7 +80,7 @@ def comparison_rows(kernel_scps):
     return rows
 
 
-def test_baseline_comparison_report(benchmark, kernel_scps):
+def test_baseline_comparison_report(benchmark, kernel_scps, phase_registry):
     benchmark.group = "reports"
     rows = benchmark.pedantic(
         lambda: comparison_rows(kernel_scps), rounds=1, iterations=1
@@ -89,6 +94,15 @@ def test_baseline_comparison_report(benchmark, kernel_scps):
         ),
     )
     save_artifact("baselines_comparison.txt", text)
+    save_json(
+        "baselines_comparison.json",
+        {
+            "bench": "baselines_comparison",
+            "pipeline_stages": PIPELINE_STAGES,
+            "loops": [dict(zip(HEADERS, row)) for row in rows],
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
 
     for row in rows:
         _key, _n, ideal, an_rate, scp_ii, mii, modulo_ii, list_ii = row

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from benchmarks.conftest import L1_SOURCE, save_artifact
+from benchmarks.conftest import (
+    L1_SOURCE,
+    phase_timings,
+    save_artifact,
+    save_json,
+)
 from repro import compile_loop
 from repro.core import steady_state_equivalent_net
 from repro.report import (
@@ -28,7 +33,7 @@ from repro.report import (
 )
 
 
-def test_figure1_report(benchmark):
+def test_figure1_report(benchmark, phase_registry):
     benchmark.group = "reports"
     result = benchmark.pedantic(
         lambda: compile_loop(L1_SOURCE, include_io=False),
@@ -60,6 +65,22 @@ def test_figure1_report(benchmark):
     sections.append(render_schedule(result.schedule))
 
     save_artifact("fig1_l1_pipeline.txt", "\n".join(sections))
+    save_json(
+        "fig1_l1_pipeline.json",
+        {
+            "bench": "fig1_l1_pipeline",
+            "loop": "L1",
+            "n_transitions": len(result.pn.net.transition_names),
+            "n_places": len(result.pn.net.place_names),
+            "cycle_time": result.schedule.initiation_interval,
+            "rate": result.schedule.rate,
+            "frustum_length": result.frustum.length,
+            "transient": result.frustum.start_time,
+            "repeat_time": result.frustum.repeat_time,
+            "steady_period": steady.period,
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
 
     # the paper's panel facts
     assert len(result.pn.net.transition_names) == 5

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from benchmarks.conftest import L2_SOURCE, save_artifact
+from benchmarks.conftest import (
+    L2_SOURCE,
+    phase_timings,
+    save_artifact,
+    save_json,
+)
 from repro import compile_loop
 from repro.core import critical_cycles
 from repro.report import (
@@ -21,7 +26,7 @@ from repro.report import (
 )
 
 
-def test_figure2_report(benchmark):
+def test_figure2_report(benchmark, phase_registry):
     benchmark.group = "reports"
     result = benchmark.pedantic(
         lambda: compile_loop(L2_SOURCE, include_io=False),
@@ -50,6 +55,22 @@ def test_figure2_report(benchmark):
     sections.append(render_schedule(result.schedule))
 
     save_artifact("fig2_l2_lcd.txt", "\n".join(sections))
+    save_json(
+        "fig2_l2_lcd.json",
+        {
+            "bench": "fig2_l2_lcd",
+            "loop": "L2",
+            "cycle_time": report.cycle_time,
+            "rate": result.schedule.rate,
+            "frustum_length": result.frustum.length,
+            "transient": result.frustum.start_time,
+            "repeat_time": result.frustum.repeat_time,
+            "critical_cycles": [
+                list(c.transitions) for c in report.critical_cycles
+            ],
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
 
     assert report.cycle_time == 3
     assert result.schedule.rate == Fraction(1, 3)

@@ -12,7 +12,12 @@ instruction issues exactly once per period, one per cycle.
 
 from __future__ import annotations
 
-from benchmarks.conftest import L1_SOURCE, save_artifact
+from benchmarks.conftest import (
+    L1_SOURCE,
+    phase_timings,
+    save_artifact,
+    save_json,
+)
 from repro import compile_loop
 from repro.core import build_sdsp_scp_pn
 from repro.machine import FifoRunPlacePolicy
@@ -22,7 +27,7 @@ from repro.report import render_behavior_graph, render_petri_net
 STAGES = 2
 
 
-def test_figure3_report(benchmark):
+def test_figure3_report(benchmark, phase_registry):
     benchmark.group = "reports"
     base = benchmark.pedantic(
         lambda: compile_loop(L1_SOURCE, include_io=False).pn,
@@ -53,6 +58,20 @@ def test_figure3_report(benchmark):
         + " ".join(steady_sequence)
     )
     save_artifact("fig3_scp_construction.txt", "\n".join(sections))
+    save_json(
+        "fig3_scp_construction.json",
+        {
+            "bench": "fig3_scp_construction",
+            "loop": "L1",
+            "stages": STAGES,
+            "net_size": scp.size,
+            "frustum_length": frustum.length,
+            "transient": frustum.start_time,
+            "repeat_time": frustum.repeat_time,
+            "steady_sequence": steady_sequence,
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
 
     # every instruction once per period; never two in one cycle
     assert sorted(steady_sequence) == sorted(scp.sdsp_transitions)

@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from benchmarks.conftest import L2_SOURCE, save_artifact
+from benchmarks.conftest import (
+    L2_SOURCE,
+    phase_timings,
+    save_artifact,
+    save_json,
+)
 from repro import compile_loop
 from repro.core import (
     apply_allocation,
@@ -28,7 +33,7 @@ from repro.petrinet import TimedPetriNet, detect_frustum
 from repro.report import render_petri_net, render_table
 
 
-def test_figure4_report(benchmark):
+def test_figure4_report(benchmark, phase_registry):
     benchmark.group = "reports"
     pn = benchmark.pedantic(
         lambda: compile_loop(L2_SOURCE, include_io=False).pn,
@@ -85,6 +90,21 @@ def test_figure4_report(benchmark):
     assert allocation.savings >= Fraction(1, 6)
     frustum, _ = detect_frustum(TimedPetriNet(net, pn.durations), marking)
     assert frustum.uniform_rate() == Fraction(1, 3)
+    save_json(
+        "fig4_storage.json",
+        {
+            "bench": "fig4_storage",
+            "loop": "L2",
+            "baseline_locations": allocation.baseline_locations,
+            "optimised_locations": allocation.locations,
+            "savings": allocation.savings,
+            "cycle_time_after": rate,
+            "frustum_length": frustum.length,
+            "transient": frustum.start_time,
+            "rate_after": frustum.uniform_rate(),
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
 
 
 def test_figure4_optimise_speed(benchmark):

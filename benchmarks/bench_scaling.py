@@ -21,7 +21,7 @@ from fractions import Fraction
 
 import pytest
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import phase_timings, save_artifact, save_json
 from repro.core import build_sdsp_pn
 from repro.loops import parse_loop, translate
 from repro.petrinet import detect_frustum
@@ -64,7 +64,7 @@ def scaling_rows():
     return rows
 
 
-def test_scaling_report(benchmark):
+def test_scaling_report(benchmark, phase_registry):
     benchmark.group = "reports"
     rows = benchmark.pedantic(scaling_rows, rounds=1, iterations=1)
     text = render_table(
@@ -81,6 +81,26 @@ def test_scaling_report(benchmark):
         title="Detection-time scaling (paper: O(n) in practice)",
     )
     save_artifact("scaling_detection.txt", text)
+    save_json(
+        "scaling_detection.json",
+        {
+            "bench": "scaling_detection",
+            "sizes": SIZES,
+            "rows": [
+                {
+                    "family": family,
+                    "n": n,
+                    "transient": start,
+                    "repeat_time": repeat,
+                    "frustum_length": length,
+                    "steps_per_n": ratio,
+                    "n4_bound": bound,
+                }
+                for family, n, start, repeat, length, ratio, bound in rows
+            ],
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
 
     # Linear scaling: steps/n bounded by a small constant everywhere.
     assert all(row[5] <= 4 for row in rows), "detection is not O(n) here"

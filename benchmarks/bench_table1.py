@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import phase_timings, save_artifact, save_json
 from repro.core import measure_detection, optimal_rate
 from repro.petrinet import detect_frustum
 from repro.report import render_table
@@ -60,7 +60,7 @@ def table1_rows(kernel_nets):
     return rows
 
 
-def test_table1_report(benchmark, kernel_nets):
+def test_table1_report(benchmark, kernel_nets, phase_registry):
     benchmark.group = "reports"
     rows = benchmark.pedantic(
         lambda: table1_rows(kernel_nets), rounds=1, iterations=1
@@ -69,6 +69,14 @@ def test_table1_report(benchmark, kernel_nets):
         HEADERS, rows, title="Table 1: SDSP-PN model (Livermore loops)"
     )
     save_artifact("table1_sdsp_pn.txt", text)
+    save_json(
+        "table1_sdsp_pn.json",
+        {
+            "bench": "table1_sdsp_pn",
+            "loops": [dict(zip(HEADERS, row)) for row in rows],
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
     # The headline claims, asserted:
     from fractions import Fraction
 

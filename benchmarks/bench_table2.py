@@ -17,7 +17,12 @@ from fractions import Fraction
 
 import pytest
 
-from benchmarks.conftest import PIPELINE_STAGES, save_artifact
+from benchmarks.conftest import (
+    PIPELINE_STAGES,
+    phase_timings,
+    save_artifact,
+    save_json,
+)
 from repro.core import (
     measure_detection,
     pipeline_utilization,
@@ -67,7 +72,7 @@ def table2_rows(kernel_scps):
     return rows
 
 
-def test_table2_report(benchmark, kernel_scps):
+def test_table2_report(benchmark, kernel_scps, phase_registry):
     benchmark.group = "reports"
     rows = benchmark.pedantic(
         lambda: table2_rows(kernel_scps), rounds=1, iterations=1
@@ -81,6 +86,15 @@ def test_table2_report(benchmark, kernel_scps):
         ),
     )
     save_artifact("table2_sdsp_scp_pn.txt", text)
+    save_json(
+        "table2_sdsp_scp_pn.json",
+        {
+            "bench": "table2_sdsp_scp_pn",
+            "pipeline_stages": PIPELINE_STAGES,
+            "loops": [dict(zip(HEADERS, row)) for row in rows],
+            "phase_wall_clock": phase_timings(phase_registry),
+        },
+    )
     assert all(row[-1] for row in rows)
     # loops long enough to cover the pipeline round trip hit 100% usage
     saturated = [row for row in rows if row[2] >= 2 * PIPELINE_STAGES]

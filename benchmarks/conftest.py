@@ -4,10 +4,17 @@ Every bench regenerates one of the paper's tables or figures.  The
 rendered artifact is (a) printed to stdout and (b) written under
 ``benchmarks/results/`` so ``pytest benchmarks/ --benchmark-only`` can
 run with output capture on and still leave reviewable artifacts.
+
+Since the observability PR every report bench *also* writes its key
+numbers (cycle times, frustum lengths, transients, per-phase
+wall-clock) as ``benchmarks/results/<name>.json`` via
+:func:`save_json`, so the benchmark trajectory is machine-readable:
+diffing two runs is ``json.load`` + compare, no table scraping.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -15,6 +22,7 @@ import pytest
 from repro.core import build_sdsp_pn, build_sdsp_scp_pn
 from repro.loops import paper_kernel_set
 from repro.machine import FifoRunPlacePolicy
+from repro.obs import default_registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -45,6 +53,41 @@ def save_artifact(name: str, text: str) -> None:
     (RESULTS_DIR / name).write_text(text + "\n")
     print(f"\n===== {name} =====")
     print(text)
+
+
+def save_json(name: str, payload: dict) -> None:
+    """Persist one bench's key numbers as machine-readable telemetry.
+
+    Non-JSON values (``Fraction``, ...) are serialised via ``str`` so
+    exact rationals like ``1/2`` survive round-tripping as text.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print(f"\n===== {name} (telemetry) =====")
+    print(text)
+
+
+@pytest.fixture
+def phase_registry():
+    """Enable the process-wide metrics registry for one bench.
+
+    While active, ``@timed`` library functions (frustum detection,
+    schedule derivation, rate analysis, the baselines) record their
+    wall-clock into named timers; benches dump them into their JSON
+    telemetry via :func:`phase_timings`.
+    """
+    registry = default_registry()
+    registry.reset()
+    registry.enable()
+    yield registry
+    registry.disable()
+
+
+def phase_timings(registry) -> dict:
+    """The registry's timers as plain dicts (count/total/mean/min/max
+    seconds per phase)."""
+    return registry.dump()["timers"]
 
 
 @pytest.fixture(scope="session")

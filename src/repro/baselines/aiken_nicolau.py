@@ -28,6 +28,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import AnalysisError
+from ..obs.metrics import timed
 from .depgraph import DependenceGraph
 
 __all__ = ["AikenNicolauPattern", "aiken_nicolau_schedule"]
@@ -72,6 +73,7 @@ class AikenNicolauPattern:
         return series[j] + m * self.slopes[node]
 
 
+@timed("baselines.aiken_nicolau_schedule")
 def aiken_nicolau_schedule(
     graph: DependenceGraph,
     max_iterations: Optional[int] = None,

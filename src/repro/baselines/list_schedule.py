@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from ..errors import AnalysisError
+from ..obs.metrics import timed
 from .depgraph import DependenceGraph
 
 __all__ = ["ListSchedule", "list_schedule"]
@@ -43,6 +44,7 @@ class ListSchedule:
         return Fraction(1, self.makespan)
 
 
+@timed("baselines.list_schedule")
 def list_schedule(
     graph: DependenceGraph,
     units: int = 1,

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from ..errors import AnalysisError
+from ..obs.metrics import timed
 from .depgraph import DependenceGraph
 
 __all__ = ["ModuloSchedule", "modulo_schedule"]
@@ -53,6 +54,7 @@ class ModuloSchedule:
         return self.initiation_interval == self.mii
 
 
+@timed("baselines.modulo_schedule")
 def modulo_schedule(
     graph: DependenceGraph,
     units: int = 1,

@@ -10,7 +10,14 @@ Commands
               cycles, rates and detection statistics;
 ``storage``   print the Section 6 storage optimisation and the
               buffer-balancing result;
-``dot``       emit Graphviz DOT for the dataflow graph or the SDSP-PN.
+``dot``       emit Graphviz DOT for the dataflow graph or the SDSP-PN;
+``trace``     record the behavior-graph simulation as a structured
+              trace (Chrome/Perfetto or JSONL).
+
+Every command accepts ``--profile``, which prints a per-phase
+wall-clock table after the normal output.  Logging is wired through
+:func:`repro.obs.logging_setup`; set ``REPRO_LOG=debug`` for verbose
+diagnostics.
 
 Loop files use the frontend syntax of :mod:`repro.loops.parser`;
 loop-invariant scalars are bound with repeated ``--scalar NAME=VALUE``
@@ -21,6 +28,7 @@ failure.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence
@@ -28,6 +36,8 @@ from typing import Dict, List, Optional, Sequence
 from .errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+log = logging.getLogger("repro.cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--abstract",
             action="store_true",
             help="drop load/store nodes (the paper's figure mode)",
+        )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help="print a per-phase wall-clock table after the output",
         )
 
     schedule = subparsers.add_parser(
@@ -85,6 +100,36 @@ def build_parser() -> argparse.ArgumentParser:
         default="dataflow",
         help="which graph to emit",
     )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="record the behavior-graph simulation as a structured trace",
+    )
+    add_common(trace)
+    trace.add_argument(
+        "--format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help=(
+            "chrome: trace-event JSON for chrome://tracing / "
+            "ui.perfetto.dev (one track per transition, one slice per "
+            "firing); jsonl: one structured event per line"
+        ),
+    )
+    trace.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output path (default: <loop-file>.trace.<json|jsonl>)",
+    )
+    trace.add_argument(
+        "--stages",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace the SDSP-SCP-PN of an N-stage clean pipeline instead",
+    )
     return parser
 
 
@@ -98,6 +143,17 @@ def _parse_scalars(pairs: Sequence[str]) -> Dict[str, float]:
     return scalars
 
 
+def _instrumentation(args: argparse.Namespace):
+    """The compile-time instrumentation implied by the global flags:
+    profiling records phases into the process-wide registry, otherwise
+    the shared no-op keeps every hook dormant."""
+    from .obs import Instrumentation, NULL_INSTRUMENTATION, default_registry
+
+    if getattr(args, "profile", False):
+        return Instrumentation(metrics=default_registry())
+    return NULL_INSTRUMENTATION
+
+
 def _compile(args: argparse.Namespace, stages: Optional[int] = None):
     from .pipeline import compile_loop
 
@@ -108,6 +164,7 @@ def _compile(args: argparse.Namespace, stages: Optional[int] = None):
         scalars=_parse_scalars(args.scalar),
         pipeline_stages=stages,
         include_io=not args.abstract,
+        instrumentation=_instrumentation(args),
     )
 
 
@@ -212,31 +269,134 @@ def _cmd_dot(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    """Record one behavior-graph simulation as a structured trace.
+
+    The loop is compiled normally (so the traced net is exactly what
+    ``schedule`` would use); the frustum detection is then re-run with
+    the requested sink attached, so the file holds a single clean
+    timeline: every firing, every instantaneous state, and the detected
+    cyclic frustum.
+    """
+    from .machine import FifoRunPlacePolicy
+    from .obs import ChromeTraceSink, Instrumentation, JsonlTraceSink
+    from .petrinet import detect_frustum
+
+    result = _compile(args, stages=args.stages)
+    if args.stages is not None and result.scp is not None:
+        scp = result.scp
+        timed_net, initial = scp.timed, scp.initial
+        policy = FifoRunPlacePolicy(scp.net, scp.run_place, scp.priority_order())
+        traced = f"SDSP-SCP-PN (l={args.stages})"
+    else:
+        timed_net, initial = result.pn.timed, result.pn.initial
+        policy = None
+        traced = "SDSP-PN"
+
+    output = args.output
+    if output is None:
+        suffix = "json" if args.format == "chrome" else "jsonl"
+        output = f"{args.loop_file}.trace.{suffix}"
+    sink = (
+        ChromeTraceSink(output)
+        if args.format == "chrome"
+        else JsonlTraceSink(output)
+    )
+    obs = Instrumentation(sinks=[sink])
+    try:
+        frustum, behavior = detect_frustum(
+            timed_net, initial, policy, instrumentation=obs
+        )
+    finally:
+        obs.close()
+
+    print(
+        f"traced {traced} of {result.translation.loop.name!r}: "
+        f"{len(behavior.steps)} steps, frustum [{frustum.start_time}, "
+        f"{frustum.repeat_time}) period {frustum.length}",
+        file=out,
+    )
+    print(f"wrote {args.format} trace to {output}", file=out)
+    if args.format == "chrome":
+        print(
+            "open in chrome://tracing or https://ui.perfetto.dev "
+            "(1 trace us = 1 simulator cycle)",
+            file=out,
+        )
+    return 0
+
+
+def _print_profile(out) -> None:
+    """Render the per-phase wall-clock table from the process-wide
+    metrics registry (populated by ``--profile``)."""
+    from .obs import default_registry
+    from .report import render_table
+
+    timers = default_registry().dump()["timers"]
+    if not timers:
+        print("\n(no phases were timed)", file=out)
+        return
+    rows = [
+        [name, stats["count"], f"{stats['total']:.6f}", f"{stats['mean']:.6f}"]
+        for name, stats in sorted(
+            timers.items(), key=lambda item: -item[1]["total"]
+        )
+    ]
+    print(file=out)
+    print(
+        render_table(
+            ["phase", "calls", "total s", "mean s"],
+            rows,
+            title="Wall-clock profile",
+        ),
+        file=out,
+    )
+
+
 _COMMANDS = {
     "schedule": _cmd_schedule,
     "analyze": _cmd_analyze,
     "storage": _cmd_storage,
     "dot": _cmd_dot,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit status."""
+    from .obs import default_registry, logging_setup
+
+    logging_setup()
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    profiling = getattr(args, "profile", False)
+    if profiling:
+        registry = default_registry()
+        registry.reset()
+        registry.enable()
     try:
-        return _COMMANDS[args.command](args, out)
+        status = _COMMANDS[args.command](args, out)
+        if profiling:
+            _print_profile(out)
+        return status
     except BrokenPipeError:
         # downstream consumer (e.g. `head`) closed the pipe; not an error
         try:
             sys.stdout.close()
-        except Exception:
-            pass
+        except Exception as error:
+            log.debug("suppressed error while closing stdout: %s", error)
         return 0
     except FileNotFoundError as error:
+        # raised for a missing input loop file or an unwritable/missing
+        # output directory alike — the errno message names the path
+        log.warning("file not found: %s", error)
         print(f"error: {error}", file=sys.stderr)
         return 2
     except ReproError as error:
+        log.warning("%s failed: %s", args.command, error)
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if profiling:
+            default_registry().disable()

@@ -28,6 +28,7 @@ from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import AnalysisError, NotAMarkedGraphError
+from ..obs.metrics import timed
 from ..petrinet.behavior import CyclicFrustum
 from ..petrinet.marked_graph import require_marked_graph
 from ..petrinet.marking import Marking
@@ -65,6 +66,7 @@ class SteadyStateNet:
         )
 
 
+@timed("core.steady_state_equivalent_net")
 def steady_state_equivalent_net(
     net: PetriNet,
     durations: Mapping[str, int],

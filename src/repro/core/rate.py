@@ -17,6 +17,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional
 
+from ..obs.metrics import timed
 from ..petrinet.analysis import CriticalCycleReport, critical_cycle_report
 from ..petrinet.behavior import CyclicFrustum
 from .scp import SdspScpNet
@@ -31,11 +32,13 @@ __all__ = [
 ]
 
 
+@timed("core.critical_cycles")
 def critical_cycles(pn: SdspPetriNet) -> CriticalCycleReport:
     """Full critical-cycle analysis of an SDSP-PN."""
     return critical_cycle_report(pn.view(), pn.durations)
 
 
+@timed("core.optimal_rate")
 def optimal_rate(pn: SdspPetriNet) -> Fraction:
     """The time-optimal computation rate ``γ`` of the loop: the hard
     upper bound the critical cycles impose on any schedule."""

@@ -26,6 +26,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import ScheduleError
+from ..obs.metrics import timed
 from ..petrinet.behavior import BehaviorGraph, CyclicFrustum
 
 __all__ = ["ScheduledOp", "PipelinedSchedule", "derive_schedule"]
@@ -152,6 +153,7 @@ class PipelinedSchedule:
         return sorted(rows.items())
 
 
+@timed("core.derive_schedule")
 def derive_schedule(
     frustum: CyclicFrustum,
     behavior: BehaviorGraph,

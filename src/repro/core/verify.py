@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..dataflow.actors import ActorKind, EvalContext
 from ..dataflow.graph import DataflowGraph
 from ..errors import ScheduleError
+from ..obs.metrics import timed
 from .schedule import PipelinedSchedule, ScheduledOp
 from .sdsp_pn import SdspPetriNet
 
@@ -227,6 +228,7 @@ def execute_schedule(
     }
 
 
+@timed("core.verify_schedule")
 def verify_schedule(
     pn: SdspPetriNet,
     schedule: PipelinedSchedule,

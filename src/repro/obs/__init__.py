@@ -1,0 +1,75 @@
+"""Observability: structured simulator tracing, metrics and logging.
+
+This package turns every simulation into an inspectable timeline and
+gives the performance work a measurement substrate:
+
+* :mod:`repro.obs.events` — structured event API (``FiringStarted``,
+  ``FiringCompleted``, ``StateSnapshot``, ``FrustumDetected``,
+  ``PhaseTimer``) behind an opt-in :class:`Instrumentation` hub whose
+  default, :data:`NULL_INSTRUMENTATION`, is a falsy no-op — hot loops
+  pay a single pointer check when tracing is off;
+* :mod:`repro.obs.trace` — JSONL and Chrome/Perfetto trace sinks (one
+  track per transition, one slice per firing: the paper's behavior
+  graph rendered by a trace viewer);
+* :mod:`repro.obs.metrics` — counters/histograms/``perf_counter``
+  timers with a ``@timed`` decorator and a JSON-dumpable registry;
+* :mod:`repro.obs.logging_setup` — stdlib logging wiring with a
+  ``REPRO_LOG`` environment override.
+
+Quick use::
+
+    from repro import compile_loop
+    from repro.obs import Instrumentation, ChromeTraceSink
+
+    obs = Instrumentation()
+    obs.add_sink(ChromeTraceSink("trace.json"))
+    compile_loop(source, instrumentation=obs)
+    obs.close()          # open trace.json in ui.perfetto.dev
+"""
+
+from .events import (
+    Event,
+    EventSink,
+    FiringCompleted,
+    FiringStarted,
+    FrustumDetected,
+    Instrumentation,
+    ListSink,
+    NullInstrumentation,
+    NULL_INSTRUMENTATION,
+    PhaseTimer,
+    StateSnapshot,
+)
+from .logging_setup import logging_setup
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    time_block,
+    timed,
+)
+from .trace import ChromeTraceSink, JsonlTraceSink
+
+__all__ = [
+    "Event",
+    "EventSink",
+    "FiringStarted",
+    "FiringCompleted",
+    "StateSnapshot",
+    "FrustumDetected",
+    "PhaseTimer",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "ListSink",
+    "JsonlTraceSink",
+    "ChromeTraceSink",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "timed",
+    "time_block",
+    "logging_setup",
+]

@@ -1,0 +1,228 @@
+"""Structured simulation events and the opt-in ``Instrumentation`` hub.
+
+The paper's central artifact is the *behavior graph* — the time-indexed
+record of firings under the earliest firing rule.  These events are
+that record, surfaced as data:
+
+* :class:`FiringStarted` / :class:`FiringCompleted` — one pair per
+  transition firing (a *transition instance* in the behavior graph; in
+  the instantaneous-state semantics, the interval during which the
+  transition contributes a non-zero residual firing time);
+* :class:`StateSnapshot` — the instantaneous state ``(marking,
+  residual vector, policy key)`` at the canonical post-completion /
+  pre-firing point of a step — the states frustum detection hashes;
+* :class:`FrustumDetected` — the first repeated instantaneous state,
+  i.e. the boundaries of the cyclic frustum (Definition 3.3.1);
+* :class:`PhaseTimer` — wall-clock duration of one named pipeline
+  phase (parse, translate, detect-frustum, ...).
+
+Event times are the simulator's *logical* clock (integer cycles), not
+wall-clock; :class:`PhaseTimer` is the only wall-clock event.
+
+``Instrumentation`` fans events out to pluggable sinks and owns a
+:class:`~repro.obs.metrics.MetricsRegistry`.  The library default is
+:data:`NULL_INSTRUMENTATION`, whose ``emit`` discards and which is
+falsy, so hot loops guard with ``if obs:`` / ``is not None`` and pay
+nothing when tracing is off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Event",
+    "FiringStarted",
+    "FiringCompleted",
+    "StateSnapshot",
+    "FrustumDetected",
+    "PhaseTimer",
+    "EventSink",
+    "ListSink",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """Base class for all structured events."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation: ``{"event": <type>, ...fields}``."""
+        payload: Dict[str, Any] = {"event": type(self).__name__}
+        payload.update(dataclasses.asdict(self))
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class FiringStarted(Event):
+    """Transition ``transition`` started firing at logical ``time`` and
+    will occupy ``duration`` cycles (one behavior-graph transition
+    instance)."""
+
+    time: int
+    transition: str
+    duration: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FiringCompleted(Event):
+    """Transition ``transition`` finished at logical ``time`` the firing
+    it started at ``time - duration``."""
+
+    time: int
+    transition: str
+    duration: int
+
+
+@dataclasses.dataclass(frozen=True)
+class StateSnapshot(Event):
+    """The instantaneous state at the canonical snapshot point of step
+    ``time`` — exactly what frustum detection hashes."""
+
+    time: int
+    marking: Tuple[Tuple[str, int], ...]
+    residuals: Tuple[Tuple[str, int], ...]
+    policy_key: Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class FrustumDetected(Event):
+    """The instantaneous state first seen at ``start_time`` repeated at
+    ``repeat_time``; the cyclic frustum spans the ``period`` steps in
+    between."""
+
+    start_time: int
+    repeat_time: int
+    period: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseTimer(Event):
+    """One named pipeline phase took ``seconds`` of wall-clock time."""
+
+    phase: str
+    seconds: float
+
+
+class EventSink:
+    """Receiver interface for structured events."""
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; further ``emit`` is undefined."""
+
+
+class ListSink(EventSink):
+    """In-memory sink, mainly for tests and ad-hoc inspection."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+
+class Instrumentation:
+    """Fan-out hub: events to sinks, phase timings to a registry.
+
+    Truthiness doubles as the fast-path gate: a real ``Instrumentation``
+    is truthy, the :data:`NULL_INSTRUMENTATION` default is falsy, so
+    per-step simulator code can guard event construction with a single
+    ``if obs is not None`` / ``if obs`` check.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: Iterable[EventSink] = (),
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sinks: List[EventSink] = list(sinks)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        self.sinks.append(sink)
+        return sink
+
+    def emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named pipeline phase: emits a :class:`PhaseTimer`
+        event and records a ``phase.<name>`` timer in :attr:`metrics`."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self.metrics.record_time(f"phase.{name}", elapsed)
+            self.emit(PhaseTimer(name, elapsed))
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class _NullContext:
+    """Reusable no-op context manager (cheaper than nullcontext churn)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullInstrumentation(Instrumentation):
+    """The do-nothing default: falsy, discards events, times nothing.
+
+    Exists so library code can unconditionally call ``obs.emit(...)`` /
+    ``obs.phase(...)`` on cold paths while hot loops skip event
+    construction entirely via the falsy check.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sinks=(), metrics=MetricsRegistry(enabled=False))
+
+    def __bool__(self) -> bool:
+        return False
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    def phase(self, name: str) -> _NullContext:  # type: ignore[override]
+        return _NULL_CONTEXT
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        raise ValueError(
+            "cannot attach sinks to the shared NULL_INSTRUMENTATION; "
+            "create a repro.obs.Instrumentation instead"
+        )
+
+
+#: Shared no-op used wherever instrumentation was not requested.
+NULL_INSTRUMENTATION = NullInstrumentation()

@@ -1,0 +1,89 @@
+"""Stdlib logging wiring for the ``repro`` package.
+
+The library logs under the ``repro.*`` logger hierarchy and never
+configures handlers on import (library etiquette).  Applications — the
+CLI, the benchmark harness, user scripts — call :func:`logging_setup`
+once; the ``REPRO_LOG`` environment variable overrides the level
+(``REPRO_LOG=debug python -m repro ...``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import IO, Optional, Union
+
+__all__ = ["logging_setup", "LOGGER_NAME"]
+
+LOGGER_NAME = "repro"
+
+_LEVELS = {
+    "critical": logging.CRITICAL,
+    "error": logging.ERROR,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "info": logging.INFO,
+    "debug": logging.DEBUG,
+}
+
+_HANDLER_MARK = "_repro_logging_setup"
+
+
+def logging_setup(
+    level: Optional[Union[int, str]] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger and return it.
+
+    Precedence for the effective level: the ``REPRO_LOG`` environment
+    variable (``debug``/``info``/``warning``/``error``/``critical``,
+    case-insensitive) beats the ``level`` argument, which beats the
+    default ``WARNING``.  An unrecognised ``REPRO_LOG`` value falls
+    back to the argument/default and earns a one-line warning rather
+    than an exception — observability must never take the program down.
+
+    Calling this repeatedly is safe: the stream handler is installed at
+    most once (re-calls only adjust the level).
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+
+    effective: Union[int, str] = level if level is not None else logging.WARNING
+    if isinstance(effective, str):
+        effective = _LEVELS.get(effective.lower(), logging.WARNING)
+
+    env_value = os.environ.get("REPRO_LOG")
+    bad_env = None
+    if env_value:
+        env_level = _LEVELS.get(env_value.strip().lower())
+        if env_level is not None:
+            effective = env_level
+        else:
+            bad_env = env_value
+
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_MARK, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        setattr(handler, _HANDLER_MARK, True)
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+
+    if bad_env is not None:
+        # Emit before applying a possibly more restrictive level, so the
+        # complaint is visible even when the effective level is ERROR+.
+        logger.setLevel(logging.WARNING)
+        logger.warning(
+            "REPRO_LOG=%r is not a recognised level (expected one of %s); "
+            "keeping %s",
+            bad_env,
+            "/".join(sorted(set(_LEVELS) - {"warn"})),
+            logging.getLevelName(effective),
+        )
+    logger.setLevel(effective)
+    return logger

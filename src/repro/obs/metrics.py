@@ -1,0 +1,237 @@
+"""Counters, histograms and wall-clock timers for the repro stack.
+
+The registry is deliberately tiny: the hot paths of this project
+(frustum detection over `O(n^3)`+ step loops, reachability,
+LP-based rate analysis) cannot afford a metrics framework, so every
+primitive here is a plain attribute update and the module-level
+default registry starts **disabled** — a decorated function costs one
+attribute check until somebody opts in (the CLI ``--profile`` flag,
+the benchmark harness, or a test).
+
+Primitives
+----------
+
+``Counter``
+    monotonically increasing integer (``inc``).
+``Histogram``
+    running count/total/min/max over observed samples (``observe``);
+    good enough for step counts and queue depths without keeping the
+    samples.
+``MetricsRegistry``
+    named counters, histograms and timers (timers are histograms whose
+    samples are seconds), with ``dump()``/``to_json()`` snapshots and
+    ``reset()``.
+``timed`` / ``time_block``
+    decorator / context manager recording ``perf_counter`` durations
+    into a registry timer.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "timed",
+    "time_block",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dump(self) -> int:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Running summary statistics over observed samples.
+
+    Keeps count/total/min/max (not the samples themselves), which is
+    all the profile table and the benchmark telemetry need.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def dump(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name}, n={self.count}, total={self.total})"
+
+
+class MetricsRegistry:
+    """Named counters, histograms and timers with snapshot/reset.
+
+    ``enabled`` gates the :func:`timed` decorator and
+    :func:`time_block`; direct calls to ``counter()``/``histogram()``/
+    ``timer()`` always work (callers who fetched a metric explicitly
+    asked for it).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Histogram] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every registered metric (names and values)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+            self._timers.clear()
+
+    # -- access (create on first use) -----------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    def timer(self, name: str) -> Histogram:
+        """A histogram whose samples are wall-clock seconds."""
+        with self._lock:
+            metric = self._timers.get(name)
+            if metric is None:
+                metric = self._timers[name] = Histogram(name)
+            return metric
+
+    def record_time(self, name: str, seconds: float) -> None:
+        self.timer(name).observe(seconds)
+
+    # -- snapshots ------------------------------------------------------
+    def dump(self) -> Dict[str, Any]:
+        """Plain-dict snapshot of every metric, JSON-ready."""
+        return {
+            "counters": {n: c.dump() for n, c in sorted(self._counters.items())},
+            "histograms": {
+                n: h.dump() for n, h in sorted(self._histograms.items())
+            },
+            "timers": {n: t.dump() for n, t in sorted(self._timers.items())},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.dump(), indent=indent, sort_keys=True)
+
+
+#: Process-wide registry used by :func:`timed` when no registry is
+#: given.  Disabled by default so instrumented library functions cost a
+#: single attribute check unless profiling was requested.
+_DEFAULT_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry behind ``repro --profile`` and the
+    benchmark telemetry."""
+    return _DEFAULT_REGISTRY
+
+
+def timed(
+    name: str, registry: Optional[MetricsRegistry] = None
+) -> Callable[[Callable], Callable]:
+    """Decorator: record the wrapped function's wall-clock time under
+    ``name`` in ``registry`` (default: the process-wide registry).
+
+    When the registry is disabled the wrapped call pays one attribute
+    check and nothing else.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            reg = registry if registry is not None else _DEFAULT_REGISTRY
+            if not reg.enabled:
+                return fn(*args, **kwargs)
+            start = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                reg.record_time(name, perf_counter() - start)
+
+        return wrapper
+
+    return decorate
+
+
+@contextmanager
+def time_block(
+    name: str, registry: Optional[MetricsRegistry] = None
+) -> Iterator[None]:
+    """Context-manager form of :func:`timed`."""
+    reg = registry if registry is not None else _DEFAULT_REGISTRY
+    if not reg.enabled:
+        yield
+        return
+    start = perf_counter()
+    try:
+        yield
+    finally:
+        reg.record_time(name, perf_counter() - start)

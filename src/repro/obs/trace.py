@@ -1,0 +1,198 @@
+"""Trace sinks: JSONL and Chrome/Perfetto trace-event output.
+
+A simulation traced through :class:`ChromeTraceSink` renders, in
+``chrome://tracing`` or https://ui.perfetto.dev, as one track per
+transition with one slice per firing whose length is the firing's
+execution time — effectively the paper's behavior graph (Figure 1(e))
+drawn by a trace viewer for free.
+
+Conventions
+-----------
+
+* Logical simulator cycles map 1:1 to trace microseconds (``ts``/
+  ``dur`` are numerically equal to cycle counts), so slice durations
+  read directly as execution times.
+* Every transition gets its own ``tid`` (named via ``thread_name``
+  metadata), all under ``pid`` 0 ("simulation").
+* :class:`~repro.obs.events.FrustumDetected` becomes a global instant
+  event plus explicit ``frustum`` begin/end marks on a dedicated
+  track, so the cyclic frustum's span is visible in the timeline.
+* :class:`~repro.obs.events.PhaseTimer` events are wall-clock, not
+  simulation-clock, so the Chrome sink records them only as metadata
+  under ``otherData``.
+
+:class:`JsonlTraceSink` is the lossless form: every event, one JSON
+object per line, in emission order — the machine-readable behavior
+graph used by the golden-trace tests and any downstream tooling.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, IO, List, Optional, Union
+
+from .events import (
+    Event,
+    EventSink,
+    FiringCompleted,
+    FiringStarted,
+    FrustumDetected,
+    PhaseTimer,
+    StateSnapshot,
+)
+
+__all__ = ["JsonlTraceSink", "ChromeTraceSink"]
+
+PathOrFile = Union[str, "io.TextIOBase", IO[str]]
+
+
+def _open(target: PathOrFile) -> tuple:
+    """Return ``(handle, owns_handle)`` for a path or file-like."""
+    if isinstance(target, str):
+        return open(target, "w"), True
+    return target, False
+
+
+class JsonlTraceSink(EventSink):
+    """One JSON object per event per line, written as events arrive.
+
+    ``target`` may be a path or an open text handle (handles are left
+    open on :meth:`close` so callers can wrap ``StringIO``).
+    """
+
+    def __init__(self, target: PathOrFile) -> None:
+        self._handle, self._owns = _open(target)
+        self.events_written = 0
+
+    def emit(self, event: Event) -> None:
+        json.dump(event.to_dict(), self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns:
+            self._handle.close()
+
+
+class ChromeTraceSink(EventSink):
+    """Chrome trace-event (JSON object format) sink.
+
+    Buffers trace events and writes the final ``{"traceEvents": [...]}``
+    document on :meth:`close`.  Complete (``ph: "X"``) slices are
+    emitted at :class:`FiringStarted` time — the duration is already
+    known then, Assumption A.6.1 guarantees slices on one track never
+    overlap, and completions need no separate slice.
+    """
+
+    #: pid used for all simulation tracks.
+    PID = 0
+    #: tid reserved for frustum span marks; transitions start above it.
+    FRUSTUM_TID = 0
+
+    def __init__(self, target: PathOrFile, *, process_name: str = "simulation") -> None:
+        self._target = target
+        self._events: List[Dict[str, Any]] = []
+        self._tids: Dict[str, int] = {}
+        self._other: Dict[str, Any] = {}
+        self._closed = False
+        self._meta(
+            "process_name", tid=self.FRUSTUM_TID, args={"name": process_name}
+        )
+        self._meta(
+            "thread_name", tid=self.FRUSTUM_TID, args={"name": "(frustum)"}
+        )
+
+    # -- helpers --------------------------------------------------------
+    def _meta(self, name: str, tid: int, args: Dict[str, Any]) -> None:
+        self._events.append(
+            {"name": name, "ph": "M", "pid": self.PID, "tid": tid, "args": args}
+        )
+
+    def _tid_of(self, transition: str) -> int:
+        tid = self._tids.get(transition)
+        if tid is None:
+            tid = self._tids[transition] = len(self._tids) + 1
+            self._meta("thread_name", tid=tid, args={"name": transition})
+        return tid
+
+    # -- EventSink ------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        if isinstance(event, FiringStarted):
+            self._events.append(
+                {
+                    "name": event.transition,
+                    "cat": "firing",
+                    "ph": "X",
+                    "ts": event.time,
+                    "dur": event.duration,
+                    "pid": self.PID,
+                    "tid": self._tid_of(event.transition),
+                }
+            )
+        elif isinstance(event, FrustumDetected):
+            self._events.append(
+                {
+                    "name": f"cyclic frustum (period {event.period})",
+                    "cat": "frustum",
+                    "ph": "X",
+                    "ts": event.start_time,
+                    "dur": event.period,
+                    "pid": self.PID,
+                    "tid": self.FRUSTUM_TID,
+                    "args": {
+                        "start_time": event.start_time,
+                        "repeat_time": event.repeat_time,
+                        "period": event.period,
+                    },
+                }
+            )
+            self._events.append(
+                {
+                    "name": "state repeats",
+                    "cat": "frustum",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": event.repeat_time,
+                    "pid": self.PID,
+                    "tid": self.FRUSTUM_TID,
+                }
+            )
+        elif isinstance(event, StateSnapshot):
+            # Token totals as a counter track: the timeline shows the
+            # marking "breathe" as the pipeline fills and settles.
+            self._events.append(
+                {
+                    "name": "tokens",
+                    "cat": "state",
+                    "ph": "C",
+                    "ts": event.time,
+                    "pid": self.PID,
+                    "args": {"total": sum(c for _, c in event.marking)},
+                }
+            )
+        elif isinstance(event, PhaseTimer):
+            timings = self._other.setdefault("phase_seconds", {})
+            timings[event.phase] = timings.get(event.phase, 0.0) + event.seconds
+        elif isinstance(event, FiringCompleted):
+            pass  # the slice was emitted complete at FiringStarted
+        # unknown event types are ignored: sinks must stay forward-compatible
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        document = {
+            "traceEvents": self._events,
+            "displayTimeUnit": "ms",
+            "otherData": dict(
+                self._other, time_unit="1 trace us == 1 simulator cycle"
+            ),
+        }
+        handle, owns = _open(self._target)
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+        handle.flush()
+        if owns:
+            handle.close()

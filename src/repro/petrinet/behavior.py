@@ -22,6 +22,8 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..obs.events import FrustumDetected, Instrumentation
+from ..obs.metrics import timed
 from .marking import Marking
 from .simulator import (
     ConflictResolutionPolicy,
@@ -167,8 +169,14 @@ class FrustumDetector:
         initial: Marking,
         policy: Optional[ConflictResolutionPolicy] = None,
         record_arcs: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
-        self.simulator = EarliestFiringSimulator(timed_net, initial, policy)
+        self.simulator = EarliestFiringSimulator(
+            timed_net, initial, policy, instrumentation=instrumentation
+        )
+        self._obs: Optional[Instrumentation] = (
+            instrumentation if instrumentation else None
+        )
         self.record_arcs = record_arcs
         self.graph = BehaviorGraph()
         self._seen: Dict[InstantaneousState, int] = {}
@@ -222,6 +230,14 @@ class FrustumDetector:
             record = self.simulator.step()
             first_seen = self._seen.get(record.state)
             if first_seen is not None:
+                if self._obs is not None:
+                    self._obs.emit(
+                        FrustumDetected(
+                            start_time=first_seen,
+                            repeat_time=record.time,
+                            period=record.time - first_seen,
+                        )
+                    )
                 return self._build_frustum(first_seen, record.time, record.state)
             self._seen[record.state] = record.time
             self._record_step(record)
@@ -241,11 +257,13 @@ class FrustumDetector:
         )
 
 
+@timed("petrinet.detect_frustum")
 def detect_frustum(
     timed_net: TimedPetriNet,
     initial: Marking,
     policy: Optional[ConflictResolutionPolicy] = None,
     max_steps: Optional[int] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Tuple[CyclicFrustum, BehaviorGraph]:
     """Convenience wrapper: detect the cyclic frustum and return it with
     the behavior graph that produced it.
@@ -253,11 +271,17 @@ def detect_frustum(
     ``max_steps`` defaults to a generous multiple of the theoretical
     O(n⁴) bound (Theorem 4.1.2), clamped to at least 10,000 steps so
     tiny nets with long pipelines are not cut short.
+
+    ``instrumentation`` threads down to the simulator: the whole
+    detection run streams firing/snapshot events plus one
+    :class:`~repro.obs.events.FrustumDetected` when the state repeats.
     """
     if max_steps is None:
         n = max(1, len(timed_net.net.transition_names))
         total_duration = sum(timed_net.durations.values())
         max_steps = max(10_000, 4 * n**4, 16 * total_duration)
-    detector = FrustumDetector(timed_net, initial, policy)
+    detector = FrustumDetector(
+        timed_net, initial, policy, instrumentation=instrumentation
+    )
     frustum = detector.detect(max_steps)
     return frustum, detector.graph

@@ -30,6 +30,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..obs.events import (
+    FiringCompleted,
+    FiringStarted,
+    Instrumentation,
+    StateSnapshot,
+)
 from .marking import Marking
 from .net import PetriNet
 from .timed import InstantaneousState, TimedPetriNet
@@ -108,6 +114,12 @@ class EarliestFiringSimulator:
     policy:
         Conflict-resolution policy; defaults to firing everything,
         which is correct exactly when the net is persistent.
+    instrumentation:
+        Optional :class:`repro.obs.Instrumentation`.  When given (and
+        enabled), every step emits :class:`FiringCompleted`,
+        :class:`StateSnapshot` and :class:`FiringStarted` events in
+        intra-step order.  The default no-op costs one pointer check
+        per step.
     """
 
     def __init__(
@@ -115,10 +127,16 @@ class EarliestFiringSimulator:
         timed_net: TimedPetriNet,
         initial: Marking,
         policy: Optional[ConflictResolutionPolicy] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.timed_net = timed_net
         self.net: PetriNet = timed_net.net
         self.policy = policy if policy is not None else FireAllPolicy()
+        # A falsy instrumentation (None or NULL_INSTRUMENTATION)
+        # collapses to None so step() guards with one identity check.
+        self._obs: Optional[Instrumentation] = (
+            instrumentation if instrumentation else None
+        )
         self._initial = initial
         self.reset()
 
@@ -133,6 +151,27 @@ class EarliestFiringSimulator:
             t: 0 for t in self.net.transition_names
         }
         self.policy.reset()
+        self._check_policy_key()
+
+    def _check_policy_key(self) -> None:
+        """Assert the policy's ``state_key`` is hashable.
+
+        The key is merged into every :class:`InstantaneousState` (see
+        :meth:`snapshot`), and frustum detection uses those states as
+        dict keys — an unhashable key would only explode deep inside
+        detection, so fail fast here with a pointed message instead.
+        Checked once per reset to keep it off the per-step hot path.
+        """
+        key = self.policy.state_key()
+        try:
+            hash(key)
+        except TypeError:
+            raise SimulationError(
+                f"policy {type(self.policy).__name__} returned an unhashable "
+                f"state_key {key!r}; frustum detection hashes the "
+                "instantaneous state (marking, residuals, policy key), so "
+                "state_key() must return a hashable tuple"
+            ) from None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -150,7 +189,16 @@ class EarliestFiringSimulator:
     def snapshot(self) -> InstantaneousState:
         """Instantaneous state at the canonical point of the current
         step (post-completion / pre-firing when called from
-        :meth:`step`)."""
+        :meth:`step`).
+
+        The policy's ``state_key()`` is part of the returned state and
+        therefore part of the hash used by frustum detection: per
+        Assumption 5.2.1 the machine's choices must be a deterministic
+        function of its instantaneous state, so any policy-internal
+        memory (e.g. the SCP FIFO queue) has to be in the state for a
+        repeated snapshot to really imply repeated behaviour.
+        Hashability of the key is asserted at :meth:`reset` time.
+        """
         return InstantaneousState.make(
             self.marking, self.residuals(), self.policy.state_key()
         )
@@ -175,6 +223,7 @@ class EarliestFiringSimulator:
         """Advance one time unit; see the module docstring for the
         intra-step ordering."""
         now = self.time
+        obs = self._obs
 
         # 1. completions
         completed = tuple(
@@ -187,6 +236,13 @@ class EarliestFiringSimulator:
                 for place in self.net.output_places(transition):
                     deltas[place] = deltas.get(place, 0) + 1
             self.marking = self.marking.with_delta(deltas)
+            if obs is not None:
+                for transition in completed:
+                    obs.emit(
+                        FiringCompleted(
+                            now, transition, self.timed_net.duration(transition)
+                        )
+                    )
 
         # 2. snapshot (also lets the policy observe the state)
         idle = [
@@ -194,6 +250,15 @@ class EarliestFiringSimulator:
         ]
         self.policy.begin_step(now, self.marking, idle)
         state = self.snapshot()
+        if obs is not None:
+            obs.emit(
+                StateSnapshot(
+                    now,
+                    tuple(sorted(state.marking.items())),
+                    state.residuals,
+                    state.policy_key,
+                )
+            )
 
         # 3. firings, greedy with re-check in policy order
         candidates = self._enabled_idle()
@@ -204,11 +269,26 @@ class EarliestFiringSimulator:
             inputs = self.net.input_places(transition)
             if not all(self.marking[p] > 0 for p in inputs):
                 continue  # lost a structural conflict earlier this step
+            duration = self.timed_net.duration(transition)
+            if duration < 1:
+                # A completion is detected by `finish == now`, so a
+                # non-positive duration means the firing would complete
+                # in the past (or this same step) and never be seen —
+                # the transition stays in flight and run() spins to its
+                # budget.  This only happens when the durations mapping
+                # was mutated after TimedPetriNet validation.
+                raise SimulationError(
+                    f"transition {transition!r} has non-positive firing "
+                    f"duration {duration}; durations must be >= 1 (was the "
+                    "TimedPetriNet.durations mapping mutated?)"
+                )
             self.marking = self.marking.with_delta({p: -1 for p in inputs})
-            self._in_flight[transition] = now + self.timed_net.duration(transition)
+            self._in_flight[transition] = now + duration
             self.total_firings[transition] += 1
             self.policy.notify_fired(transition)
             fired.append(transition)
+            if obs is not None:
+                obs.emit(FiringStarted(now, transition, duration))
 
         self.time = now + 1
         return StepRecord(now, completed, tuple(fired), state)

@@ -32,6 +32,7 @@ from .core.verify import verify_schedule
 from .loops.parser import parse_loop
 from .loops.translate import TranslationResult, translate
 from .machine.policies import FifoRunPlacePolicy
+from .obs.events import Instrumentation, NULL_INSTRUMENTATION
 from .petrinet.behavior import BehaviorGraph, CyclicFrustum, detect_frustum
 
 __all__ = ["CompiledLoop", "compile_loop"]
@@ -75,6 +76,7 @@ def compile_loop(
     include_io: bool = True,
     verify: bool = True,
     verify_iterations: int = 12,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> CompiledLoop:
     """Compile loop source text through the whole pipeline.
 
@@ -95,20 +97,35 @@ def compile_loop(
         Replay the derived schedules against dependences, resources and
         the optimal rate; raises :class:`repro.errors.ScheduleError` on
         any violation.
+    instrumentation:
+        Optional :class:`repro.obs.Instrumentation`.  When given, each
+        compilation phase is timed (``phase.parse`` ... ``phase.verify``
+        timers plus :class:`~repro.obs.events.PhaseTimer` events) and
+        the behavior-graph simulations stream firing/snapshot/frustum
+        events to the attached sinks.  Defaults to a no-op.
     """
-    loop = parse_loop(source)
-    translation = translate(loop, scalars)
-    pn = build_sdsp_pn(translation.graph, include_io=include_io)
+    obs = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+    with obs.phase("parse"):
+        loop = parse_loop(source)
+    with obs.phase("translate"):
+        translation = translate(loop, scalars)
+    with obs.phase("build-sdsp-pn"):
+        pn = build_sdsp_pn(translation.graph, include_io=include_io)
 
-    frustum, behavior = detect_frustum(pn.timed, pn.initial)
-    schedule = derive_schedule(frustum, behavior)
+    with obs.phase("detect-frustum"):
+        frustum, behavior = detect_frustum(
+            pn.timed, pn.initial, instrumentation=obs
+        )
+    with obs.phase("derive-schedule"):
+        schedule = derive_schedule(frustum, behavior)
     if verify:
-        verify_schedule(
-            pn,
-            schedule,
-            iterations=verify_iterations,
-            expected_rate=optimal_rate(pn),
-        ).require()
+        with obs.phase("verify"):
+            verify_schedule(
+                pn,
+                schedule,
+                iterations=verify_iterations,
+                expected_rate=optimal_rate(pn),
+            ).require()
 
     result = CompiledLoop(
         translation=translation,
@@ -120,22 +137,28 @@ def compile_loop(
     )
 
     if pipeline_stages is not None:
-        scp = build_sdsp_scp_pn(pn, pipeline_stages)
-        policy = FifoRunPlacePolicy(scp.net, scp.run_place, scp.priority_order())
-        scp_frustum, scp_behavior = detect_frustum(
-            scp.timed, scp.initial, policy
-        )
-        scp_schedule = derive_schedule(
-            scp_frustum, scp_behavior, instructions=scp.sdsp_transitions
-        )
+        with obs.phase("scp-build"):
+            scp = build_sdsp_scp_pn(pn, pipeline_stages)
+            policy = FifoRunPlacePolicy(
+                scp.net, scp.run_place, scp.priority_order()
+            )
+        with obs.phase("scp-detect-frustum"):
+            scp_frustum, scp_behavior = detect_frustum(
+                scp.timed, scp.initial, policy, instrumentation=obs
+            )
+        with obs.phase("scp-derive-schedule"):
+            scp_schedule = derive_schedule(
+                scp_frustum, scp_behavior, instructions=scp.sdsp_transitions
+            )
         if verify:
-            verify_schedule(
-                pn,
-                scp_schedule,
-                iterations=verify_iterations,
-                capacity=1,
-                latency_of=lambda t: pipeline_stages,
-            ).require()
+            with obs.phase("scp-verify"):
+                verify_schedule(
+                    pn,
+                    scp_schedule,
+                    iterations=verify_iterations,
+                    capacity=1,
+                    latency_of=lambda t: pipeline_stages,
+                ).require()
         result.scp = scp
         result.scp_frustum = scp_frustum
         result.scp_behavior = scp_behavior

@@ -1,0 +1,66 @@
+"""logging_setup(): levels, the REPRO_LOG override, idempotence."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import logging_setup
+from repro.obs.logging_setup import LOGGER_NAME, _HANDLER_MARK
+
+
+@pytest.fixture(autouse=True)
+def clean_logger():
+    """Strip handlers installed by logging_setup after each test so the
+    suite's logging configuration stays pristine."""
+    yield
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+
+
+def test_default_level_is_warning(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    logger = logging_setup()
+    assert logger.level == logging.WARNING
+
+
+def test_level_argument_accepts_names_and_ints(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    assert logging_setup(level="info").level == logging.INFO
+    assert logging_setup(level=logging.DEBUG).level == logging.DEBUG
+
+
+def test_env_override_beats_argument(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG", "debug")
+    logger = logging_setup(level="error")
+    assert logger.level == logging.DEBUG
+
+
+def test_bad_env_value_warns_and_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG", "shouty")
+    stream = io.StringIO()
+    logger = logging_setup(level="error", stream=stream)
+    assert logger.level == logging.ERROR
+    assert "REPRO_LOG" in stream.getvalue()
+
+
+def test_repeated_setup_installs_one_handler(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    logger = logging_setup()
+    logging_setup()
+    logging_setup()
+    marked = [
+        h for h in logger.handlers if getattr(h, _HANDLER_MARK, False)
+    ]
+    assert len(marked) == 1
+
+
+def test_messages_reach_the_stream(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    stream = io.StringIO()
+    logging_setup(level="info", stream=stream)
+    logging.getLogger("repro.cli").info("hello from the cli")
+    assert "hello from the cli" in stream.getvalue()

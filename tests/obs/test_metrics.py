@@ -1,0 +1,137 @@
+"""The metrics registry: counters, histograms, timers, @timed."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    time_block,
+    timed,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.dump() == 5
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("h")
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        dump = histogram.dump()
+        assert dump["count"] == 3
+        assert dump["total"] == 12.0
+        assert dump["mean"] == 4.0
+        assert dump["min"] == 2.0
+        assert dump["max"] == 6.0
+
+    def test_empty_histogram_dump(self):
+        dump = Histogram("h").dump()
+        assert dump == {
+            "count": 0, "total": 0.0, "mean": 0.0, "min": None, "max": None,
+        }
+
+
+class TestRegistry:
+    def test_metrics_are_created_once(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.timer("t") is registry.timer("t")
+        # counters and timers are separate namespaces
+        registry.histogram("x").observe(1)
+        assert registry.counter("x").value == 0
+
+    def test_dump_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc(7)
+        registry.record_time("detect", 0.5)
+        snapshot = json.loads(registry.to_json())
+        assert snapshot["counters"]["steps"] == 7
+        assert snapshot["timers"]["detect"]["count"] == 1
+        assert snapshot["timers"]["detect"]["total"] == 0.5
+        assert snapshot["histograms"] == {}
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc()
+        registry.record_time("detect", 1.0)
+        registry.reset()
+        assert registry.dump() == {
+            "counters": {}, "histograms": {}, "timers": {},
+        }
+
+    def test_default_registry_is_shared_and_disabled(self):
+        assert default_registry() is default_registry()
+        assert not default_registry().enabled
+
+
+class TestTimed:
+    def test_decorator_records_into_enabled_registry(self):
+        registry = MetricsRegistry()
+
+        @timed("work", registry)
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        stats = registry.dump()["timers"]["work"]
+        assert stats["count"] == 1
+        assert stats["total"] >= 0.0
+
+    def test_decorator_is_inert_when_registry_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+
+        @timed("work", registry)
+        def work():
+            return "ok"
+
+        assert work() == "ok"
+        assert registry.dump()["timers"] == {}
+
+    def test_decorator_records_on_exception(self):
+        registry = MetricsRegistry()
+
+        @timed("boom", registry)
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            boom()
+        assert registry.dump()["timers"]["boom"]["count"] == 1
+
+    def test_time_block(self):
+        registry = MetricsRegistry()
+        with time_block("blk", registry):
+            pass
+        assert registry.dump()["timers"]["blk"]["count"] == 1
+
+    def test_time_block_inert_when_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        with time_block("blk", registry):
+            pass
+        assert registry.dump()["timers"] == {}
+
+    def test_preserves_function_metadata(self):
+        @timed("meta", MetricsRegistry())
+        def documented():
+            """docstring survives"""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "docstring survives"

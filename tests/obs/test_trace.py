@@ -1,0 +1,160 @@
+"""Trace sinks: Chrome trace-event schema validity and the golden
+JSONL trace of the paper's Figure 1 loop L1."""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.core import build_sdsp_pn
+from repro.loops import parse_loop, translate
+from repro.obs import ChromeTraceSink, Instrumentation, JsonlTraceSink
+from repro.petrinet import detect_frustum
+from tests.conftest import L1_SOURCE
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_fig1_l1.jsonl"
+
+
+def l1_pn():
+    return build_sdsp_pn(translate(parse_loop(L1_SOURCE)).graph, include_io=False)
+
+
+def trace_l1(sink_factory):
+    pn = l1_pn()
+    buffer = io.StringIO()
+    sink = sink_factory(buffer)
+    obs = Instrumentation(sinks=[sink])
+    frustum, _ = detect_frustum(pn.timed, pn.initial, instrumentation=obs)
+    obs.close()
+    return pn, frustum, buffer.getvalue()
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def document(self):
+        _, frustum, text = trace_l1(ChromeTraceSink)
+        return json.loads(text), frustum
+
+    def test_is_valid_trace_event_json(self, document):
+        trace, _ = document
+        assert isinstance(trace["traceEvents"], list)
+        for event in trace["traceEvents"]:
+            assert {"name", "ph", "pid"} <= set(event)
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], int)
+                assert isinstance(event["dur"], int)
+                assert event["dur"] >= 0
+
+    def test_one_named_track_per_transition(self, document):
+        trace, _ = document
+        thread_names = {
+            event["tid"]: event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        transition_tracks = {
+            name for name in thread_names.values() if not name.startswith("(")
+        }
+        assert transition_tracks == {"A", "B", "C", "D", "E"}
+        # tids are unique per track
+        assert len(thread_names) == len(set(thread_names))
+
+    def test_slice_durations_equal_firing_times(self, document):
+        """Acceptance: every firing slice's ``dur`` is the transition's
+        execution time (all 1 for the paper's unit-time Figure 1)."""
+        trace, _ = document
+        slices = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "firing"
+        ]
+        assert slices
+        pn = l1_pn()
+        for event in slices:
+            assert event["dur"] == pn.timed.duration(event["name"])
+
+    def test_slices_on_one_track_never_overlap(self, document):
+        """Assumption A.6.1 rendered: non-reentrant firings."""
+        trace, _ = document
+        by_tid = {}
+        for event in trace["traceEvents"]:
+            if event["ph"] == "X" and event.get("cat") == "firing":
+                by_tid.setdefault(event["tid"], []).append(
+                    (event["ts"], event["ts"] + event["dur"])
+                )
+        for intervals in by_tid.values():
+            intervals.sort()
+            for (_, end), (start, _) in zip(intervals, intervals[1:]):
+                assert start >= end
+
+    def test_frustum_span_present(self, document):
+        trace, frustum = document
+        (span,) = [
+            e for e in trace["traceEvents"]
+            if e.get("cat") == "frustum" and e["ph"] == "X"
+        ]
+        assert span["ts"] == frustum.start_time
+        assert span["dur"] == frustum.length
+        assert span["args"]["repeat_time"] == frustum.repeat_time
+
+    def test_close_is_idempotent(self):
+        buffer = io.StringIO()
+        sink = ChromeTraceSink(buffer)
+        sink.close()
+        sink.close()
+        assert buffer.getvalue().count("traceEvents") == 1
+
+
+class TestJsonlTrace:
+    def test_every_line_is_json_with_event_tag(self):
+        _, _, text = trace_l1(JsonlTraceSink)
+        lines = [line for line in text.splitlines() if line]
+        assert lines
+        for line in lines:
+            payload = json.loads(line)
+            assert isinstance(payload.pop("event"), str)
+
+    def test_golden_fig1_l1_trace(self):
+        """The L1 (Figure 1, abstract mode) detection run is fully
+        deterministic; its JSONL trace must match the checked-in golden
+        record event for event."""
+        _, _, text = trace_l1(JsonlTraceSink)
+        actual = [json.loads(line) for line in text.splitlines() if line]
+        golden = [
+            json.loads(line)
+            for line in GOLDEN.read_text().splitlines()
+            if line
+        ]
+        assert actual == golden
+
+    def test_golden_trace_shape(self):
+        """Sanity-pin the paper facts inside the golden file itself:
+        frustum [2, 4), period 2, kernel {A,D}/{B,C,E}."""
+        events = [
+            json.loads(line)
+            for line in GOLDEN.read_text().splitlines()
+            if line
+        ]
+        (frustum,) = [e for e in events if e["event"] == "FrustumDetected"]
+        assert frustum == {
+            "event": "FrustumDetected",
+            "start_time": 2,
+            "repeat_time": 4,
+            "period": 2,
+        }
+        fired_at = {}
+        for event in events:
+            if event["event"] == "FiringStarted":
+                fired_at.setdefault(event["time"], set()).add(event["transition"])
+        assert fired_at[2] == {"A", "D"}
+        assert fired_at[3] == {"B", "C", "E"}
+
+    def test_writes_to_path(self, tmp_path):
+        pn = l1_pn()
+        target = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(target))
+        obs = Instrumentation(sinks=[sink])
+        detect_frustum(pn.timed, pn.initial, instrumentation=obs)
+        obs.close()
+        assert sink.events_written > 0
+        assert len(target.read_text().splitlines()) == sink.events_written

@@ -174,3 +174,72 @@ class TestPolicies:
             TimedPetriNet.unit(net), initial, Keyed()
         )
         assert sim.step().state.policy_key == ("custom",)
+
+
+class TestDurationGuard:
+    """A firing whose duration is < 1 would never be seen to complete
+    (completion is detected by `finish == now`), so the simulator must
+    refuse to start it rather than spin to the step budget."""
+
+    @pytest.mark.parametrize("duration", [0, -1, -5])
+    def test_mutated_negative_duration_raises_with_transition_name(
+        self, duration
+    ):
+        net, initial = pipeline_net()
+        timed = TimedPetriNet.unit(net)
+        sim = EarliestFiringSimulator(timed, initial)
+        # TimedPetriNet validates at construction; the only way to a bad
+        # duration is mutating the mapping afterwards.
+        timed.durations["src"] = duration
+        with pytest.raises(SimulationError, match="'src'"):
+            sim.run(100)
+
+    def test_error_mentions_the_offending_duration(self):
+        net, initial = pipeline_net()
+        timed = TimedPetriNet.unit(net)
+        sim = EarliestFiringSimulator(timed, initial)
+        timed.durations["src"] = -3
+        with pytest.raises(SimulationError, match="-3"):
+            sim.step()
+
+
+class TestPolicyStateKey:
+    """The policy's state_key() is merged into every snapshot (and so
+    into the frustum hash); the simulator asserts hashability up front
+    instead of letting detection explode on a dict lookup."""
+
+    def test_unhashable_state_key_rejected_at_construction(self):
+        class BadPolicy(ConflictResolutionPolicy):
+            def state_key(self):
+                return ["mutable", "list"]
+
+        net, initial = pipeline_net()
+        with pytest.raises(SimulationError, match="state_key"):
+            EarliestFiringSimulator(
+                TimedPetriNet.unit(net), initial, BadPolicy()
+            )
+
+    def test_state_key_is_part_of_the_snapshot(self):
+        class KeyedPolicy(ConflictResolutionPolicy):
+            def state_key(self):
+                return ("phase", 7)
+
+        net, initial = pipeline_net()
+        sim = EarliestFiringSimulator(
+            TimedPetriNet.unit(net), initial, KeyedPolicy()
+        )
+        assert sim.snapshot().policy_key == ("phase", 7)
+        record = sim.step()
+        assert record.state.policy_key == ("phase", 7)
+
+    def test_distinct_policy_keys_distinguish_states(self):
+        """Two snapshots with identical marking/residuals but different
+        policy keys must not compare equal — otherwise frustum
+        detection could close a cycle the machine will not repeat."""
+        from repro.petrinet import InstantaneousState
+
+        marking = Marking({"ack": 1})
+        first = InstantaneousState.make(marking, {}, ("queue", "A"))
+        second = InstantaneousState.make(marking, {}, ("queue", "B"))
+        assert first != second
+        assert hash(first) != hash(second) or first != second

@@ -101,6 +101,84 @@ class TestDot:
         assert "shape=circle" in text
 
 
+class TestTrace:
+    def test_chrome_trace_written_and_valid(self, l2_file, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        status, text = run(
+            ["trace", l2_file, "--abstract", "--format", "chrome",
+             "-o", str(target)]
+        )
+        assert status == 0
+        assert "perfetto" in text
+        document = json.loads(target.read_text())
+        slices = [
+            e for e in document["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "firing"
+        ]
+        assert slices and all(e["dur"] >= 1 for e in slices)
+
+    def test_jsonl_trace_written(self, l2_file, tmp_path):
+        import json
+
+        target = tmp_path / "trace.jsonl"
+        status, text = run(
+            ["trace", l2_file, "--abstract", "--format", "jsonl",
+             "-o", str(target)]
+        )
+        assert status == 0
+        lines = target.read_text().splitlines()
+        assert any(
+            json.loads(line)["event"] == "FrustumDetected" for line in lines
+        )
+
+    def test_default_output_path_derives_from_loop_file(self, l2_file):
+        import os
+
+        status, text = run(["trace", l2_file, "--abstract"])
+        assert status == 0
+        expected = f"{l2_file}.trace.json"
+        assert expected in text
+        assert os.path.exists(expected)
+
+    def test_scp_trace_with_stages(self, l2_file, tmp_path):
+        target = tmp_path / "scp.json"
+        status, text = run(
+            ["trace", l2_file, "--abstract", "--stages", "2",
+             "-o", str(target)]
+        )
+        assert status == 0
+        assert "SDSP-SCP-PN" in text
+        assert target.exists()
+
+
+class TestProfile:
+    def test_schedule_profile_prints_phase_table(self, l2_file):
+        status, text = run(["schedule", l2_file, "--abstract", "--profile"])
+        assert status == 0
+        assert "Wall-clock profile" in text
+        assert "phase.detect-frustum" in text
+        assert "phase.parse" in text
+
+    def test_analyze_profile_prints_phase_table(self, l2_file):
+        status, text = run(["analyze", l2_file, "--abstract", "--profile"])
+        assert status == 0
+        assert "Wall-clock profile" in text
+
+    def test_profile_flag_leaves_registry_disabled(self, l2_file):
+        from repro.obs import default_registry
+
+        status, _ = run(["schedule", l2_file, "--abstract", "--profile"])
+        assert status == 0
+        assert not default_registry().enabled
+
+    def test_without_profile_no_table(self, l2_file):
+        status, text = run(["schedule", l2_file, "--abstract"])
+        assert status == 0
+        assert "Wall-clock profile" not in text
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
