@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke bench clean
+.PHONY: verify test smoke bench bench-check baseline dash clean
 
 verify: test smoke
 
@@ -12,10 +12,24 @@ smoke:
 	$(PYTHON) -m repro trace examples/l1.loop --abstract -o /tmp/l1.trace.json
 	$(PYTHON) -m repro trace examples/l2.loop --abstract --format jsonl -o /tmp/l2.trace.jsonl
 	$(PYTHON) -m repro schedule examples/l2.loop --abstract --profile
+	$(PYTHON) -m repro dash examples/l1.loop -o /tmp/l1.dash.html
+	$(PYTHON) -m repro dash examples/l2.loop --abstract -o /tmp/l2.dash.html
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
+# the CI perf gate: current results vs the committed baseline records
+bench-check:
+	$(PYTHON) -m repro bench-check
+
+# rewrite benchmarks/ledger/baseline.jsonl from the current results
+baseline:
+	$(PYTHON) -m repro bench-check --update-baseline
+
+dash:
+	$(PYTHON) -m repro dash examples/l1.loop -o benchmarks/results/l1.dash.html
+	$(PYTHON) -m repro dash examples/l2.loop --abstract -o benchmarks/results/l2.dash.html
+
 clean:
-	rm -f /tmp/l1.trace.json /tmp/l2.trace.jsonl
+	rm -f /tmp/l1.trace.json /tmp/l2.trace.jsonl /tmp/l1.dash.html /tmp/l2.dash.html
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -79,8 +79,8 @@ def test_buffer_ablation_report(benchmark, phase_registry):
             "bench": "ablation_buffer_capacity",
             "capacities": CAPACITIES,
             "rates": {row[0]: [str(rate) for rate in row[1:]] for row in rows},
-            "phase_wall_clock": phase_timings(phase_registry),
         },
+        phases=phase_timings(phase_registry),
     )
 
     by_label = {row[0]: row[1:] for row in rows}

@@ -100,8 +100,8 @@ def test_baseline_comparison_report(benchmark, kernel_scps, phase_registry):
             "bench": "baselines_comparison",
             "pipeline_stages": PIPELINE_STAGES,
             "loops": [dict(zip(HEADERS, row)) for row in rows],
-            "phase_wall_clock": phase_timings(phase_registry),
         },
+        phases=phase_timings(phase_registry),
     )
 
     for row in rows:

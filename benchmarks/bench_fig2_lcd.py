@@ -68,8 +68,8 @@ def test_figure2_report(benchmark, phase_registry):
             "critical_cycles": [
                 list(c.transitions) for c in report.critical_cycles
             ],
-            "phase_wall_clock": phase_timings(phase_registry),
         },
+        phases=phase_timings(phase_registry),
     )
 
     assert report.cycle_time == 3

@@ -69,8 +69,8 @@ def test_figure3_report(benchmark, phase_registry):
             "transient": frustum.start_time,
             "repeat_time": frustum.repeat_time,
             "steady_sequence": steady_sequence,
-            "phase_wall_clock": phase_timings(phase_registry),
         },
+        phases=phase_timings(phase_registry),
     )
 
     # every instruction once per period; never two in one cycle

@@ -102,8 +102,8 @@ def test_figure4_report(benchmark, phase_registry):
             "frustum_length": frustum.length,
             "transient": frustum.start_time,
             "rate_after": frustum.uniform_rate(),
-            "phase_wall_clock": phase_timings(phase_registry),
         },
+        phases=phase_timings(phase_registry),
     )
 
 

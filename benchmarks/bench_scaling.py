@@ -98,8 +98,8 @@ def test_scaling_report(benchmark, phase_registry):
                 }
                 for family, n, start, repeat, length, ratio, bound in rows
             ],
-            "phase_wall_clock": phase_timings(phase_registry),
         },
+        phases=phase_timings(phase_registry),
     )
 
     # Linear scaling: steps/n bounded by a small constant everywhere.

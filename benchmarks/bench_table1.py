@@ -74,8 +74,8 @@ def test_table1_report(benchmark, kernel_nets, phase_registry):
         {
             "bench": "table1_sdsp_pn",
             "loops": [dict(zip(HEADERS, row)) for row in rows],
-            "phase_wall_clock": phase_timings(phase_registry),
         },
+        phases=phase_timings(phase_registry),
     )
     # The headline claims, asserted:
     from fractions import Fraction

@@ -92,8 +92,8 @@ def test_table2_report(benchmark, kernel_scps, phase_registry):
             "bench": "table2_sdsp_scp_pn",
             "pipeline_stages": PIPELINE_STAGES,
             "loops": [dict(zip(HEADERS, row)) for row in rows],
-            "phase_wall_clock": phase_timings(phase_registry),
         },
+        phases=phase_timings(phase_registry),
     )
     assert all(row[-1] for row in rows)
     # loops long enough to cover the pipeline round trip hit 100% usage

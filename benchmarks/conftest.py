@@ -10,11 +10,22 @@ numbers (cycle times, frustum lengths, transients, per-phase
 wall-clock) as ``benchmarks/results/<name>.json`` via
 :func:`save_json`, so the benchmark trajectory is machine-readable:
 diffing two runs is ``json.load`` + compare, no table scraping.
+
+Since the run-ledger PR those files are schema-versioned run records
+(:mod:`repro.obs.schema`): the deterministic numbers live under
+``payload`` (sorted keys, exact rationals as ``"p/q"`` strings, floats
+at fixed precision), while everything machine-dependent — wall clock,
+timestamps, host info — is quarantined in the ``timing`` and
+``environment`` sections, so two runs on the same commit produce
+byte-identical payloads.  ``repro bench-check`` diffs exactly those
+payloads against ``benchmarks/ledger/baseline.jsonl``.  Set
+``REPRO_LEDGER=1`` (or a directory path) to also append every record
+to the append-only run ledger.
 """
 
 from __future__ import annotations
 
-import json
+import os
 import pathlib
 
 import pytest
@@ -22,7 +33,13 @@ import pytest
 from repro.core import build_sdsp_pn, build_sdsp_scp_pn
 from repro.loops import paper_kernel_set
 from repro.machine import FifoRunPlacePolicy
-from repro.obs import default_registry
+from repro.obs import (
+    RUNS_FILE,
+    append_record,
+    default_registry,
+    make_run_record,
+    stable_json,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -55,17 +72,36 @@ def save_artifact(name: str, text: str) -> None:
     print(text)
 
 
-def save_json(name: str, payload: dict) -> None:
-    """Persist one bench's key numbers as machine-readable telemetry.
+def save_json(name: str, payload: dict, phases: dict = None) -> None:
+    """Persist one bench's key numbers as a schema-versioned run record.
 
-    Non-JSON values (``Fraction``, ...) are serialised via ``str`` so
-    exact rationals like ``1/2`` survive round-tripping as text.
+    ``payload`` holds the deterministic numbers (normalized: exact
+    rationals become ``"p/q"`` strings, floats are rounded to fixed
+    precision, keys are sorted on write); ``phases`` is the volatile
+    per-phase wall-clock dump and lands in the record's ``timing``
+    section, away from anything the regression gate hard-compares.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    record = make_run_record(
+        kind="bench",
+        name=pathlib.Path(name).stem,
+        payload=payload,
+        phase_wall_clock=phases,
+        cwd=pathlib.Path(__file__).parent.parent,
+    )
+    text = stable_json(record, indent=2)
     (RESULTS_DIR / name).write_text(text + "\n")
     print(f"\n===== {name} (telemetry) =====")
     print(text)
+
+    ledger = os.environ.get("REPRO_LEDGER")
+    if ledger:
+        directory = (
+            pathlib.Path(ledger)
+            if ledger not in ("1", "true", "yes")
+            else pathlib.Path(__file__).parent / "ledger"
+        )
+        append_record(directory / RUNS_FILE, record)
 
 
 @pytest.fixture

@@ -12,12 +12,19 @@ Commands
               buffer-balancing result;
 ``dot``       emit Graphviz DOT for the dataflow graph or the SDSP-PN;
 ``trace``     record the behavior-graph simulation as a structured
-              trace (Chrome/Perfetto or JSONL).
+              trace (Chrome/Perfetto or JSONL);
+``dash``      write the self-contained HTML bottleneck-attribution
+              dashboard (kernel timeline, slack/utilization, token
+              occupancy, ledger trends);
+``bench-check``  compare ``benchmarks/results/*.json`` against the
+              committed baseline and exit non-zero on regressions.
 
 Every command accepts ``--profile``, which prints a per-phase
-wall-clock table after the normal output.  Logging is wired through
-:func:`repro.obs.logging_setup`; set ``REPRO_LOG=debug`` for verbose
-diagnostics.
+wall-clock table after the normal output; loop commands also accept
+``--ledger [DIR]`` to append a normalized run record to the append-only
+JSONL ledger (default ``benchmarks/ledger/runs.jsonl``).  Logging is
+wired through :func:`repro.obs.logging_setup`; set ``REPRO_LOG=debug``
+for verbose diagnostics.
 
 Loop files use the frontend syntax of :mod:`repro.loops.parser`;
 loop-invariant scalars are bound with repeated ``--scalar NAME=VALUE``
@@ -68,6 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--profile",
             action="store_true",
             help="print a per-phase wall-clock table after the output",
+        )
+        sub.add_argument(
+            "--ledger",
+            nargs="?",
+            const="auto",
+            default=None,
+            metavar="DIR",
+            help=(
+                "append a normalized run record to the JSONL run ledger "
+                "(default directory: benchmarks/ledger)"
+            ),
         )
 
     schedule = subparsers.add_parser(
@@ -130,6 +148,74 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="trace the SDSP-SCP-PN of an N-stage clean pipeline instead",
     )
+
+    dash = subparsers.add_parser(
+        "dash",
+        help="write the self-contained HTML bottleneck dashboard",
+    )
+    add_common(dash)
+    dash.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output path (default: <loop-file>.dash.html)",
+    )
+    dash.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSONL ledger to read trend history from "
+            "(default: benchmarks/ledger/runs.jsonl when present)"
+        ),
+    )
+
+    bench_check = subparsers.add_parser(
+        "bench-check",
+        help="gate benchmarks/results/*.json against the baseline ledger",
+    )
+    bench_check.add_argument(
+        "--results",
+        default="benchmarks/results",
+        metavar="DIR",
+        help="directory of freshly generated bench records",
+    )
+    bench_check.add_argument(
+        "--baseline",
+        default="benchmarks/ledger/baseline.jsonl",
+        metavar="FILE",
+        help="committed baseline records (JSONL)",
+    )
+    bench_check.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        metavar="X",
+        help="relative wall-clock tolerance (default 5.0x baseline)",
+    )
+    bench_check.add_argument(
+        "--wall-floor",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="ignore phases whose baseline total is below this (default 0.05)",
+    )
+    bench_check.add_argument(
+        "--wall-hard",
+        action="store_true",
+        help="treat wall-clock drifts as failures, not just reports",
+    )
+    bench_check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current results and exit",
+    )
+    bench_check.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-clock table after the output",
+    )
     return parser
 
 
@@ -145,11 +231,13 @@ def _parse_scalars(pairs: Sequence[str]) -> Dict[str, float]:
 
 def _instrumentation(args: argparse.Namespace):
     """The compile-time instrumentation implied by the global flags:
-    profiling records phases into the process-wide registry, otherwise
-    the shared no-op keeps every hook dormant."""
+    profiling and ledger runs record phases into the process-wide
+    registry, otherwise the shared no-op keeps every hook dormant."""
     from .obs import Instrumentation, NULL_INSTRUMENTATION, default_registry
 
-    if getattr(args, "profile", False):
+    if getattr(args, "profile", False) or (
+        getattr(args, "ledger", None) is not None
+    ):
         return Instrumentation(metrics=default_registry())
     return NULL_INSTRUMENTATION
 
@@ -159,13 +247,28 @@ def _compile(args: argparse.Namespace, stages: Optional[int] = None):
 
     with open(args.loop_file) as handle:
         source = handle.read()
-    return compile_loop(
+    result = compile_loop(
         source,
         scalars=_parse_scalars(args.scalar),
         pipeline_stages=stages,
         include_io=not args.abstract,
         instrumentation=_instrumentation(args),
     )
+    if getattr(args, "ledger", None) is not None:
+        # stable facts for the run ledger; main() appends the record
+        # (with timing/environment sections) after the command succeeds
+        args.ledger_payload = {
+            "loop": result.translation.loop.name,
+            "cycle_time": Fraction(1, 1) / result.optimal_rate,
+            "rate": result.optimal_rate,
+            "initiation_interval": result.schedule.initiation_interval,
+            "frustum_length": result.frustum.length,
+            "transient": result.frustum.start_time,
+            "repeat_time": result.frustum.repeat_time,
+            "n_transitions": len(result.pn.net.transition_names),
+            "net_size": result.pn.size,
+        }
+    return result
 
 
 def _cmd_schedule(args: argparse.Namespace, out) -> int:
@@ -326,6 +429,111 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_dash(args: argparse.Namespace, out) -> int:
+    """Compile the loop and write the bottleneck-attribution dashboard
+    as one self-contained HTML file."""
+    import pathlib
+
+    from .core.attribution import attribute_bottlenecks, place_occupancy
+    from .obs.ledger import (
+        RUNS_FILE,
+        default_ledger_dir,
+        git_sha,
+        load_records,
+    )
+    from .report.dash import render_dash
+
+    result = _compile(args)
+    attribution = attribute_bottlenecks(result.pn, result.frustum)
+    occupancy = place_occupancy(result.behavior, result.frustum)
+    loop_name = result.translation.loop.name
+
+    history_path = (
+        pathlib.Path(args.history)
+        if args.history
+        else default_ledger_dir() / RUNS_FILE
+    )
+    history = []
+    if history_path.is_file():
+        history = [
+            record
+            for record in load_records(history_path)
+            if record.get("payload", {}).get("loop") == loop_name
+        ]
+
+    document = render_dash(
+        loop_name=loop_name,
+        attribution=attribution,
+        schedule=result.schedule,
+        durations=result.pn.durations,
+        occupancy=occupancy,
+        history=history,
+        git_sha=git_sha(),
+    )
+    output = args.output or f"{args.loop_file}.dash.html"
+    pathlib.Path(output).write_text(document, encoding="utf-8")
+
+    bottlenecks = attribution.bottlenecks()
+    print(
+        f"dashboard for {loop_name!r}: cycle time "
+        f"{attribution.cycle_time}, {len(bottlenecks)} bottleneck "
+        f"transition(s) on C*: {', '.join(bottlenecks)}",
+        file=out,
+    )
+    print(
+        f"wrote self-contained HTML to {output} "
+        f"({len(history)} ledger run(s) in trend history)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace, out) -> int:
+    """The benchmark regression gate (CI's perf check)."""
+    import pathlib
+
+    from .obs.regression import (
+        DEFAULT_WALL_FLOOR,
+        DEFAULT_WALL_TOLERANCE,
+        load_results_records,
+        run_gate,
+    )
+    from .obs.schema import stable_json
+
+    if args.update_baseline:
+        records = load_results_records(args.results)
+        baseline = pathlib.Path(args.baseline)
+        baseline.parent.mkdir(parents=True, exist_ok=True)
+        baseline.write_text(
+            "".join(
+                stable_json(records[name]) + "\n" for name in sorted(records)
+            ),
+            encoding="utf-8",
+        )
+        print(
+            f"wrote {len(records)} baseline record(s) to {baseline}",
+            file=out,
+        )
+        return 0
+
+    report = run_gate(
+        args.results,
+        args.baseline,
+        wall_tolerance=(
+            args.wall_tolerance
+            if args.wall_tolerance is not None
+            else DEFAULT_WALL_TOLERANCE
+        ),
+        wall_floor=(
+            args.wall_floor
+            if args.wall_floor is not None
+            else DEFAULT_WALL_FLOOR
+        ),
+    )
+    print(report.render(), file=out)
+    return 1 if report.failed(wall_hard=args.wall_hard) else 0
+
+
 def _print_profile(out) -> None:
     """Render the per-phase wall-clock table from the process-wide
     metrics registry (populated by ``--profile``)."""
@@ -334,7 +542,11 @@ def _print_profile(out) -> None:
 
     timers = default_registry().dump()["timers"]
     if not timers:
-        print("\n(no phases were timed)", file=out)
+        print(
+            "\n--profile: no phases were recorded by this command "
+            "(nothing was compiled or simulated)",
+            file=out,
+        )
         return
     rows = [
         [name, stats["count"], f"{stats['total']:.6f}", f"{stats['mean']:.6f}"]
@@ -353,12 +565,47 @@ def _print_profile(out) -> None:
     )
 
 
+def _append_ledger_record(args: argparse.Namespace, argv, out) -> None:
+    """Append the normalized run record requested with ``--ledger``."""
+    import pathlib
+
+    from .obs import default_registry
+    from .obs.ledger import (
+        RUNS_FILE,
+        append_record,
+        default_ledger_dir,
+        make_run_record,
+    )
+
+    payload = getattr(args, "ledger_payload", None)
+    if payload is None:
+        return
+    directory = (
+        default_ledger_dir()
+        if args.ledger == "auto"
+        else pathlib.Path(args.ledger)
+    )
+    snapshot = default_registry().dump()
+    record = make_run_record(
+        kind="cli",
+        name=f"{args.command}:{payload['loop']}",
+        payload=payload,
+        command=list(argv) if argv is not None else sys.argv[1:],
+        phase_wall_clock=snapshot["timers"],
+        metrics=snapshot["counters"],
+    )
+    path = append_record(directory / RUNS_FILE, record)
+    print(f"appended run record to {path}", file=out)
+
+
 _COMMANDS = {
     "schedule": _cmd_schedule,
     "analyze": _cmd_analyze,
     "storage": _cmd_storage,
     "dot": _cmd_dot,
     "trace": _cmd_trace,
+    "dash": _cmd_dash,
+    "bench-check": _cmd_bench_check,
 }
 
 
@@ -371,12 +618,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     profiling = getattr(args, "profile", False)
-    if profiling:
+    # --ledger wants phase timings in its record, so it enables the
+    # registry exactly like --profile (without printing the table)
+    collecting = profiling or getattr(args, "ledger", None) is not None
+    if collecting:
         registry = default_registry()
         registry.reset()
         registry.enable()
     try:
         status = _COMMANDS[args.command](args, out)
+        if status == 0 and getattr(args, "ledger", None) is not None:
+            _append_ledger_record(args, argv, out)
         if profiling:
             _print_profile(out)
         return status
@@ -398,5 +650,5 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     finally:
-        if profiling:
+        if collecting:
             default_registry().disable()

@@ -1,8 +1,14 @@
 """The paper's core contribution: SDSP formalism, SDSP-PN and
 SDSP-SCP-PN construction, cyclic-frustum post-processing, schedule
-derivation, rate/bound analysis, schedule verification and storage
-optimisation."""
+derivation, rate/bound analysis, schedule verification, storage
+optimisation and bottleneck attribution."""
 
+from .attribution import (
+    AttributionReport,
+    TransitionAttribution,
+    attribute_bottlenecks,
+    place_occupancy,
+)
 from .sdsp import AckArc, Sdsp
 from .sdsp_pn import SdspPetriNet, build_sdsp_pn
 from .scp import RUN_PLACE, SdspScpNet, build_sdsp_scp_pn
@@ -43,6 +49,10 @@ from .storage import (
 )
 
 __all__ = [
+    "AttributionReport",
+    "TransitionAttribution",
+    "attribute_bottlenecks",
+    "place_occupancy",
     "AckArc",
     "Sdsp",
     "SdspPetriNet",

@@ -1,0 +1,179 @@
+"""Bottleneck attribution: per-transition utilization and slack
+relative to the critical cycle (the ``repro dash`` analysis layer).
+
+The paper's headline is that steady-state throughput is governed by the
+critical cycle: the initiation period is ``p = Ω(C*)`` and no machine
+can beat the rate ``min M(C)/Ω(C)``.  This module turns that theorem
+into a per-transition diagnosis, the lens related work (Millo & de
+Simone; Gaujal, Haar & Mairesse) uses for throughput analysis:
+
+* **utilization** — the fraction of the steady-state period a
+  transition spends firing: ``firings_per_frustum · τ(t) / p``;
+* **slack** — how much ``τ(t)`` could grow before the cycle time (and
+  hence ``Ω(C*)`` / the optimal rate) changes.  Growing ``τ(t)`` by
+  ``δ`` moves every simple cycle ``C ∋ t`` to ratio
+  ``(Ω(C)+δ)/M(C)``, and the implicit self-loop of Assumption A.6.1 to
+  ``τ(t)+δ``; the cycle time is unchanged exactly while::
+
+      δ  <=  min over C ∋ t  of  α·M(C) − Ω(C)
+
+  (self-loop included with ``M = 1``).  Transitions on a critical
+  cycle have slack **zero** — they *are* the bottleneck; every other
+  transition's slack says how far it sits from mattering.
+
+Everything is exact rational arithmetic on the same cycle enumeration
+:mod:`repro.petrinet.analysis` uses, so the dashboard's numbers are
+unit-testable without rendering any HTML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..obs.metrics import timed
+from ..petrinet.analysis import CriticalCycleReport, critical_cycle_report
+from ..petrinet.behavior import BehaviorGraph, CyclicFrustum
+from .sdsp_pn import SdspPetriNet
+
+__all__ = [
+    "TransitionAttribution",
+    "AttributionReport",
+    "attribute_bottlenecks",
+    "place_occupancy",
+]
+
+
+@dataclass(frozen=True)
+class TransitionAttribution:
+    """One transition's share of, and distance from, the bottleneck."""
+
+    transition: str
+    duration: int
+    firings: int
+    utilization: Fraction
+    slack: Fraction
+    on_critical_cycle: bool
+    binding_cycle: Tuple[str, ...]
+
+    @property
+    def is_bottleneck(self) -> bool:
+        return self.slack == 0
+
+
+@dataclass
+class AttributionReport:
+    """The full per-transition breakdown for one SDSP-PN frustum."""
+
+    cycle_time: Fraction
+    period: int
+    critical_transitions: frozenset
+    transitions: List[TransitionAttribution]
+
+    def bottlenecks(self) -> List[str]:
+        """Zero-slack transitions — exactly the ones on ``C*``."""
+        return [t.transition for t in self.transitions if t.is_bottleneck]
+
+    def by_name(self, transition: str) -> TransitionAttribution:
+        for entry in self.transitions:
+            if entry.transition == transition:
+                return entry
+        raise AnalysisError(f"unknown transition {transition!r}")
+
+
+@timed("core.attribute_bottlenecks")
+def attribute_bottlenecks(
+    pn: SdspPetriNet,
+    frustum: CyclicFrustum,
+    report: Optional[CriticalCycleReport] = None,
+) -> AttributionReport:
+    """Utilization and slack for every transition of an SDSP-PN.
+
+    ``report`` may be passed to reuse an existing critical-cycle
+    analysis; otherwise one is computed on ``pn``'s marked-graph view.
+    Rows come back sorted bottlenecks-first (ascending slack, then
+    descending utilization, then name) — the order a dashboard wants.
+    """
+    if report is None:
+        report = critical_cycle_report(pn.view(), pn.durations)
+    alpha = report.cycle_time
+    critical = report.transitions_on_critical_cycles
+
+    # Tightest constraint per transition, starting from the implicit
+    # self-loop (M = 1, Ω = τ): slack = α·M(C) − Ω(C) minimised over
+    # every cycle through the transition.
+    slack: Dict[str, Fraction] = {}
+    binding: Dict[str, Tuple[str, ...]] = {}
+    for transition in pn.net.transition_names:
+        slack[transition] = alpha - Fraction(pn.durations[transition])
+        binding[transition] = (transition,)
+    for metrics in report.metrics:
+        margin = alpha * metrics.tokens - Fraction(metrics.value)
+        for transition in metrics.cycle.transitions:
+            if margin < slack[transition]:
+                slack[transition] = margin
+                binding[transition] = metrics.cycle.transitions
+
+    if frustum.length <= 0:
+        raise AnalysisError("empty frustum has no utilization")
+
+    rows: List[TransitionAttribution] = []
+    for transition in pn.net.transition_names:
+        firings = frustum.firing_counts.get(transition, 0)
+        rows.append(
+            TransitionAttribution(
+                transition=transition,
+                duration=pn.durations[transition],
+                firings=firings,
+                utilization=Fraction(
+                    firings * pn.durations[transition], frustum.length
+                ),
+                slack=slack[transition],
+                on_critical_cycle=transition in critical,
+                binding_cycle=binding[transition],
+            )
+        )
+    rows.sort(key=lambda r: (r.slack, -r.utilization, r.transition))
+    return AttributionReport(
+        cycle_time=alpha,
+        period=frustum.length,
+        critical_transitions=critical,
+        transitions=rows,
+    )
+
+
+def place_occupancy(
+    behavior: BehaviorGraph,
+    frustum: CyclicFrustum,
+    places: Optional[Sequence[str]] = None,
+) -> Dict[str, List[int]]:
+    """Token count per place at every step of the frustum window.
+
+    Returns one series per place, in step order over
+    ``[start_time, repeat_time)`` — the data behind the dashboard's
+    occupancy sparklines.  ``places`` restricts (and orders) the
+    output; by default every place seen in the frustum's instantaneous
+    states is included, sorted by name.
+    """
+    window = [
+        step
+        for step in behavior.steps
+        if frustum.start_time <= step.time < frustum.repeat_time
+    ]
+    if not window:
+        raise AnalysisError(
+            "behavior graph has no steps inside the frustum window"
+        )
+    if places is None:
+        seen = set()
+        for step in window:
+            seen.update(step.state.marking)
+        names: Sequence[str] = sorted(seen)
+    else:
+        names = places
+    return {
+        place: [step.state.marking[place] for step in window]
+        for place in names
+    }

@@ -58,3 +58,13 @@ class AnalysisError(ReproError):
     """Raised by graph analyses (cycle-time computation, storage
     optimisation) when the input has no well-defined answer, e.g. a
     cycle with zero tokens (deadlocked net)."""
+
+
+class LedgerError(ReproError):
+    """Raised by the run ledger: malformed records, unknown schema
+    versions, or unreadable ledger files."""
+
+
+class RegressionError(ReproError):
+    """Raised by the benchmark regression gate when its inputs are
+    unusable (missing baseline, unreadable results)."""

@@ -14,7 +14,13 @@ gives the performance work a measurement substrate:
 * :mod:`repro.obs.metrics` — counters/histograms/``perf_counter``
   timers with a ``@timed`` decorator and a JSON-dumpable registry;
 * :mod:`repro.obs.logging_setup` — stdlib logging wiring with a
-  ``REPRO_LOG`` environment override.
+  ``REPRO_LOG`` environment override;
+* :mod:`repro.obs.schema` / :mod:`repro.obs.ledger` — the normalized,
+  schema-versioned run-record format and the append-only JSONL run
+  ledger under ``benchmarks/ledger/``;
+* :mod:`repro.obs.regression` — the benchmark regression gate behind
+  ``repro bench-check`` (hard failures on correctness drift, soft
+  reports on wall-clock growth).
 
 Quick use::
 
@@ -49,6 +55,30 @@ from .metrics import (
     time_block,
     timed,
 )
+from .ledger import (
+    BASELINE_FILE,
+    RUNS_FILE,
+    append_record,
+    default_ledger_dir,
+    environment_info,
+    git_sha,
+    latest_by_name,
+    load_records,
+    make_run_record,
+)
+from .regression import (
+    Difference,
+    GateReport,
+    compare_records,
+    load_results_records,
+    run_gate,
+)
+from .schema import (
+    SCHEMA_VERSION,
+    normalize_payload,
+    stable_json,
+    validate_record,
+)
 from .trace import ChromeTraceSink, JsonlTraceSink
 
 __all__ = [
@@ -72,4 +102,22 @@ __all__ = [
     "timed",
     "time_block",
     "logging_setup",
+    "SCHEMA_VERSION",
+    "normalize_payload",
+    "stable_json",
+    "validate_record",
+    "BASELINE_FILE",
+    "RUNS_FILE",
+    "append_record",
+    "default_ledger_dir",
+    "environment_info",
+    "git_sha",
+    "latest_by_name",
+    "load_records",
+    "make_run_record",
+    "Difference",
+    "GateReport",
+    "compare_records",
+    "load_results_records",
+    "run_gate",
 ]

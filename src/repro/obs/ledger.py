@@ -1,0 +1,187 @@
+"""The cross-run performance ledger: append-only JSONL under
+``benchmarks/ledger/``.
+
+PR 1 made *single* runs observable; this module is the memory that
+connects them.  Two files live in the ledger directory:
+
+``runs.jsonl``
+    the append-only history — every benchmark run and every opted-in
+    ``repro schedule/analyze/trace`` invocation appends one record, so
+    the ``repro dash`` trend charts can plot cycle time and detection
+    cost across commits;
+``baseline.jsonl``
+    the committed regression baseline — one record per bench, written
+    by ``repro bench-check --update-baseline`` and compared against
+    fresh ``benchmarks/results/*.json`` by the gate.
+
+Records follow :mod:`repro.obs.schema` (versioned, normalised, stable
+serialisation); loading tolerates blank lines but rejects records whose
+schema version this build does not understand, so a format change can
+never be silently misread as a regression.
+"""
+
+from __future__ import annotations
+
+import datetime
+import pathlib
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from ..errors import LedgerError
+from .schema import (
+    SCHEMA_VERSION,
+    normalize_payload,
+    stable_json,
+    validate_record,
+)
+
+__all__ = [
+    "RUNS_FILE",
+    "BASELINE_FILE",
+    "default_ledger_dir",
+    "git_sha",
+    "environment_info",
+    "make_run_record",
+    "append_record",
+    "load_records",
+    "latest_by_name",
+]
+
+RUNS_FILE = "runs.jsonl"
+BASELINE_FILE = "baseline.jsonl"
+
+_PathLike = Union[str, pathlib.Path]
+
+
+def default_ledger_dir(root: Optional[_PathLike] = None) -> pathlib.Path:
+    """``<root>/benchmarks/ledger`` (root defaults to the cwd) — where
+    the CLI and the benchmark harness keep their shared history."""
+    base = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
+    return base / "benchmarks" / "ledger"
+
+
+def git_sha(cwd: Optional[_PathLike] = None) -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout
+    (records must never fail to be written for provenance reasons)."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if sha else "unknown"
+
+
+def environment_info() -> Dict[str, Any]:
+    """Volatile provenance: interpreter, platform, host, timestamp.
+
+    Everything here lives in the record's ``environment`` section,
+    which the regression gate and ``git diff`` both ignore.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+
+def make_run_record(
+    kind: str,
+    name: str,
+    payload: Mapping[str, Any],
+    command: Optional[str] = None,
+    phase_wall_clock: Optional[Mapping[str, Any]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    cwd: Optional[_PathLike] = None,
+) -> Dict[str, Any]:
+    """Assemble one normalised, validated run record.
+
+    ``payload`` holds only stable numbers; wall-clock goes into
+    ``timing`` and host/timestamp provenance into ``environment``.
+    ``metrics`` is a metrics-registry ``dump()`` snapshot — counters
+    and histograms are kept in the volatile ``timing`` section too,
+    since their values (step counts aside) are measurement artifacts.
+    """
+    record: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "name": name,
+        "git_sha": git_sha(cwd),
+        "payload": normalize_payload(payload),
+        "environment": environment_info(),
+    }
+    if command is not None:
+        record["command"] = command
+    timing: Dict[str, Any] = {}
+    if phase_wall_clock:
+        timing["phase_wall_clock"] = dict(phase_wall_clock)
+    if metrics:
+        timing["metrics"] = dict(metrics)
+    if timing:
+        record["timing"] = timing
+    validate_record(record)
+    return record
+
+
+def append_record(path: _PathLike, record: Mapping[str, Any]) -> pathlib.Path:
+    """Validate and append one record to a JSONL ledger file, creating
+    parent directories on first use.  Returns the file path."""
+    validate_record(record)
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as handle:
+        handle.write(stable_json(record) + "\n")
+    return target
+
+
+def load_records(path: _PathLike) -> List[Dict[str, Any]]:
+    """All records of one JSONL ledger file, in append order.
+
+    Blank lines are skipped; malformed JSON or an unknown schema
+    version raises :class:`~repro.errors.LedgerError` naming the line.
+    """
+    import json
+
+    target = pathlib.Path(path)
+    if not target.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(target.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise LedgerError(
+                f"{target}:{lineno}: malformed ledger line ({error})"
+            ) from error
+        try:
+            validate_record(record)
+        except LedgerError as error:
+            raise LedgerError(f"{target}:{lineno}: {error}") from error
+        records.append(record)
+    return records
+
+
+def latest_by_name(
+    records: Iterable[Mapping[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """The most recent record per ``name`` (later lines win — the file
+    is append-only, so file order is time order)."""
+    latest: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        latest[str(record["name"])] = dict(record)
+    return latest

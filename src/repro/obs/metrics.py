@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import functools
 import json
+import math
 import threading
 from contextlib import contextmanager
 from time import perf_counter
@@ -70,11 +71,19 @@ class Counter:
 class Histogram:
     """Running summary statistics over observed samples.
 
-    Keeps count/total/min/max (not the samples themselves), which is
-    all the profile table and the benchmark telemetry need.
+    Keeps count/total/min/max plus a bounded window of the raw samples
+    (the first :data:`Histogram.MAX_SAMPLES` observations) so the
+    ledger and dashboard can ask for percentiles.  Phase timers and
+    queue-depth histograms observe far fewer samples than the cap, so
+    in practice percentiles are exact; a histogram that overflows the
+    window reports percentiles over the retained prefix.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    #: Raw samples retained for :meth:`percentile`; beyond this only
+    #: the running summary is updated.
+    MAX_SAMPLES = 8192
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -85,6 +94,7 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: list = []
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -93,10 +103,32 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self._samples) < Histogram.MAX_SAMPLES:
+            self._samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile over the retained samples.
+
+        ``q`` is in ``[0, 100]``.  Returns ``None`` for an empty
+        histogram (there is no sample to report — callers render a
+        dash, they don't invent a zero).  A single sample is every
+        percentile of itself; duplicate values collapse naturally
+        because nearest-rank picks an actual observation, never an
+        interpolation between two.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if q == 0:
+            return ordered[0]
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[rank - 1]
 
     def dump(self) -> Dict[str, Any]:
         return {
@@ -105,6 +137,8 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -137,12 +137,18 @@ class MarkedGraphView:
         cycles: List[SimpleCycle] = []
         for node_cycle in nx.simple_cycles(nx.DiGraph(graph)):
             cycles.extend(self._expand_parallel_places(node_cycle))
+        # networkx yields cycles in hash order; sort canonicalized
+        # cycles so reports, ledgers and goldens are reproducible
+        # across processes and PYTHONHASHSEED values.
+        cycles.sort(key=lambda c: (c.transitions, c.places))
         self._cycles = cycles
         return cycles
 
     def _expand_parallel_places(self, node_cycle: Sequence[str]) -> List[SimpleCycle]:
         """Turn a node cycle into all place-labelled cycles it induces
-        (cartesian product over parallel places on each hop)."""
+        (cartesian product over parallel places on each hop), rotated to
+        the canonical start (the lexicographically smallest transition)
+        so the same cycle always prints the same way."""
         graph = self.digraph()
         hops: List[List[str]] = []
         size = len(node_cycle)
@@ -153,8 +159,11 @@ class MarkedGraphView:
         combos: List[List[str]] = [[]]
         for options in hops:
             combos = [prefix + [choice] for prefix in combos for choice in options]
+        start = min(range(size), key=node_cycle.__getitem__)
+        rotated = tuple(node_cycle[start:]) + tuple(node_cycle[:start])
         return [
-            SimpleCycle(tuple(node_cycle), tuple(combo)) for combo in combos
+            SimpleCycle(rotated, tuple(combo[start:] + combo[:start]))
+            for combo in combos
         ]
 
     # ------------------------------------------------------------------

@@ -1,5 +1,6 @@
-"""Reporting: text tables for the benchmark harness and ASCII
-renderings of the paper's figures."""
+"""Reporting: text tables for the benchmark harness, ASCII renderings
+of the paper's figures, Graphviz DOT emitters and the self-contained
+HTML dashboard behind ``repro dash``."""
 
 from .tables import format_cell, render_table
 from .render import (
@@ -8,6 +9,7 @@ from .render import (
     render_petri_net,
     render_schedule,
 )
+from .dash import render_dash
 from .dot import dataflow_to_dot, petri_net_to_dot
 
 __all__ = [
@@ -17,6 +19,7 @@ __all__ = [
     "render_dataflow_graph",
     "render_petri_net",
     "render_schedule",
+    "render_dash",
     "dataflow_to_dot",
     "petri_net_to_dot",
 ]

@@ -1,0 +1,523 @@
+"""The bottleneck-attribution dashboard behind ``repro dash``.
+
+Renders one **self-contained** HTML file — inline CSS, inline SVG, no
+external assets, no scripts — answering the question the paper keeps
+answering with theorems: *why is this loop's initiation interval what
+it is?*
+
+Sections:
+
+* headline stat tiles (cycle time ``Ω(C*)``, rate, II, frustum);
+* the steady-state kernel as a Gantt timeline (one row per
+  instruction, one bar per firing inside the II window), bottleneck
+  transitions — the ones on a critical cycle — marked;
+* the slack/utilization table from
+  :mod:`repro.core.attribution`: zero-slack rows are exactly the
+  transitions on ``C*``; every other row says how much its firing time
+  could grow before ``Ω`` (and hence the optimal rate) changes;
+* token-occupancy sparklines per place over the frustum window;
+* when ledger history exists (``benchmarks/ledger/runs.jsonl``), trend
+  charts of cycle time and detection cost across commits.
+
+All numbers are computed by the core layers; this module only formats.
+Charts carry native ``<title>`` hover tooltips and every chart has a
+table twin, so nothing is gated on color vision or pointer precision.
+"""
+
+from __future__ import annotations
+
+import html
+from fractions import Fraction
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.attribution import AttributionReport
+from .tables import format_cell
+
+__all__ = ["render_dash", "TrendPoint"]
+
+
+# --------------------------------------------------------------------------
+# Palette: the validated reference instance (light + selected dark steps).
+# Roles only — the chart body never mentions raw hex.
+# --------------------------------------------------------------------------
+_CSS = """
+:root {
+  color-scheme: light dark;
+}
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --series-track: #cde2fb;
+  --critical: #d03b3b;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--text-primary);
+  background: var(--page);
+  margin: 0;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-track: #0d366b;
+    --critical: #d03b3b;
+  }
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 15px; margin: 28px 0 8px; }
+.viz-root .subtitle { color: var(--text-secondary); font-size: 13px; margin: 0 0 16px; }
+.viz-root .card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px;
+  margin-bottom: 16px;
+}
+.viz-root .tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.viz-root .tile {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 12px 16px;
+  min-width: 110px;
+}
+.viz-root .tile .label { font-size: 12px; color: var(--text-secondary); }
+.viz-root .tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+.viz-root .tile .hint { font-size: 11px; color: var(--text-muted); margin-top: 2px; }
+.viz-root table { border-collapse: collapse; font-size: 13px; width: 100%; }
+.viz-root th {
+  text-align: left; color: var(--text-secondary); font-weight: 600;
+  border-bottom: 1px solid var(--axis); padding: 6px 10px 6px 0;
+}
+.viz-root td {
+  border-bottom: 1px solid var(--grid); padding: 6px 10px 6px 0;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root td.name { font-variant-numeric: normal; }
+.viz-root tr.bottleneck td { font-weight: 600; }
+.viz-root .badge {
+  display: inline-block; font-size: 11px; font-weight: 600;
+  color: var(--critical); margin-left: 6px;
+}
+.viz-root .meter {
+  display: inline-block; width: 120px; height: 8px; border-radius: 4px;
+  background: var(--series-track); vertical-align: middle; overflow: hidden;
+}
+.viz-root .meter > span {
+  display: block; height: 100%; background: var(--series-1);
+  border-radius: 4px 0 0 4px;
+}
+.viz-root .legend { font-size: 12px; color: var(--text-secondary); margin: 4px 0 8px; }
+.viz-root .legend .key {
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin: 0 4px 0 12px; vertical-align: baseline;
+}
+.viz-root .sparkgrid {
+  display: grid; grid-template-columns: repeat(auto-fill, minmax(190px, 1fr));
+  gap: 8px 16px;
+}
+.viz-root .spark { font-size: 11px; color: var(--text-secondary); white-space: nowrap; }
+.viz-root .spark svg { vertical-align: middle; margin-right: 6px; }
+.viz-root .note { font-size: 12px; color: var(--text-muted); }
+.viz-root details summary { cursor: pointer; font-size: 12px; color: var(--text-secondary); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _frac(value: Any) -> str:
+    return _esc(format_cell(value))
+
+
+# --------------------------------------------------------------------------
+# Charts (inline SVG, roles from the CSS custom properties above)
+# --------------------------------------------------------------------------
+
+
+def _gantt_svg(
+    kernel_rows: Sequence[Tuple[str, List[Tuple[int, int]]]],
+    period: int,
+    durations: Mapping[str, int],
+    critical: frozenset,
+) -> str:
+    """The steady-state kernel as a timeline: one row per instruction,
+    one bar per firing at its relative issue cycle."""
+    row_h, bar_h, left, top, cell = 26, 16, 84, 8, 48
+    max_end = max(period, 1)
+    for name, firings in kernel_rows:
+        for rel, _base in firings:
+            max_end = max(max_end, rel + durations.get(name, 1))
+    width = left + max_end * cell + 12
+    height = top + row_h * len(kernel_rows) + 26
+    plot_bottom = top + row_h * len(kernel_rows)
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        f'aria-label="Steady-state kernel timeline">'
+    ]
+    # recessive cycle gridlines + tick labels
+    for cycle in range(max_end + 1):
+        x = left + cycle * cell
+        parts.append(
+            f'<line x1="{x}" y1="{top}" x2="{x}" y2="{plot_bottom}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x}" y="{height - 8}" font-size="11" '
+            f'fill="var(--text-muted)" text-anchor="middle">+{cycle}</text>'
+        )
+    if max_end > period:
+        # firings wrap past the II boundary; mark it in the axis ink
+        x = left + period * cell
+        parts.append(
+            f'<line x1="{x}" y1="{top}" x2="{x}" y2="{plot_bottom}" '
+            f'stroke="var(--axis)" stroke-width="1" '
+            f'stroke-dasharray="3 3"><title>II boundary: firings to the '
+            f"right overlap the next kernel instance</title></line>"
+        )
+    for index, (name, firings) in enumerate(kernel_rows):
+        y = top + index * row_h
+        mid = y + row_h // 2
+        is_critical = name in critical
+        label = _esc(name) + (" ●" if is_critical else "")
+        parts.append(
+            f'<text x="{left - 8}" y="{mid + 4}" font-size="12" '
+            f'fill="var(--text-primary)" text-anchor="end">{label}</text>'
+        )
+        color = "var(--critical)" if is_critical else "var(--series-1)"
+        for rel, base in firings:
+            bar_w = max(durations.get(name, 1) * cell - 2, 6)
+            x = left + rel * cell + 1
+            tip = (
+                f"{_esc(name)} fires at +{rel} for "
+                f"{durations.get(name, 1)} cycle(s), iteration offset {base}"
+            )
+            parts.append(
+                f'<rect x="{x}" y="{mid - bar_h // 2}" width="{bar_w}" '
+                f'height="{bar_h}" rx="4" fill="{color}">'
+                f"<title>{tip}</title></rect>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _sparkline_svg(series: Sequence[int], tip: str) -> str:
+    """A 2px single-series sparkline (token occupancy over the frustum
+    window); flat-zero series render as a baseline hairline."""
+    width, height, pad = 120, 26, 4
+    top = max(max(series), 1)
+    n = len(series)
+    step = (width - 2 * pad) / max(n - 1, 1)
+    points = []
+    for i, value in enumerate(series):
+        x = pad + i * step
+        y = height - pad - (value / top) * (height - 2 * pad)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" aria-label="{_esc(tip)}">'
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="var(--grid)" stroke-width="1"/>'
+        f'<polyline points="{" ".join(points)}" fill="none" '
+        f'stroke="var(--series-1)" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round">'
+        f"<title>{_esc(tip)}</title></polyline></svg>"
+    )
+
+
+class TrendPoint:
+    """One ledger observation for the trend charts."""
+
+    __slots__ = ("label", "value", "tip")
+
+    def __init__(self, label: str, value: float, tip: str = "") -> None:
+        self.label = label
+        self.value = value
+        self.tip = tip or f"{label}: {value}"
+
+
+def _trend_svg(points: Sequence[TrendPoint], unit: str) -> str:
+    """Single-series line chart with ≥8px markers carrying a 2px
+    surface ring; x labels are short commit SHAs."""
+    width, height = 620, 150
+    left, right, top, bottom = 46, 12, 10, 28
+    plot_w, plot_h = width - left - right, height - top - bottom
+    values = [p.value for p in points]
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + (abs(low) or 1.0)
+    span = high - low
+    n = len(points)
+    step = plot_w / max(n - 1, 1)
+
+    def xy(i: int, v: float) -> Tuple[float, float]:
+        return left + i * step, top + plot_h - ((v - low) / span) * plot_h
+
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" aria-label="trend ({_esc(unit)})">'
+    ]
+    for frac_pos, value in ((0.0, low), (0.5, (low + high) / 2), (1.0, high)):
+        y = top + plot_h - frac_pos * plot_h
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{width - right}" '
+            f'y2="{y:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{left - 6}" y="{y + 4:.1f}" font-size="10" '
+            f'fill="var(--text-muted)" text-anchor="end">'
+            f"{value:.4g}</text>"
+        )
+    coords = [xy(i, p.value) for i, p in enumerate(points)]
+    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    parts.append(
+        f'<polyline points="{polyline}" fill="none" '
+        f'stroke="var(--series-1)" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round"/>'
+    )
+    label_every = max(1, n // 10)
+    for i, (point, (x, y)) in enumerate(zip(points, coords)):
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+            f'fill="var(--series-1)" stroke="var(--surface-1)" '
+            f'stroke-width="2"><title>{_esc(point.tip)}</title></circle>'
+        )
+        if i % label_every == 0:
+            parts.append(
+                f'<text x="{x:.1f}" y="{height - 8}" font-size="10" '
+                f'fill="var(--text-muted)" text-anchor="middle">'
+                f"{_esc(point.label)}</text>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Sections
+# --------------------------------------------------------------------------
+
+
+def _tiles_html(attribution: AttributionReport, schedule: Any) -> str:
+    tiles = [
+        ("Cycle time Ω(C*)", format_cell(attribution.cycle_time),
+         "max Ω(C)/M(C) over simple cycles"),
+        ("Initiation interval", str(schedule.initiation_interval),
+         f"{schedule.iterations_per_kernel} iteration(s) per kernel"),
+        ("Rate", format_cell(schedule.rate), "iterations per cycle"),
+        ("Frustum", str(attribution.period),
+         "steady-state period (cycles)"),
+        ("Bottlenecks", str(len(attribution.bottlenecks())),
+         f"of {len(attribution.transitions)} transitions on C*"),
+    ]
+    cells = "".join(
+        '<div class="tile">'
+        f'<div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div>'
+        f'<div class="hint">{_esc(hint)}</div></div>'
+        for label, value, hint in tiles
+    )
+    return f'<div class="tiles">{cells}</div>'
+
+
+def _slack_table_html(attribution: AttributionReport) -> str:
+    rows = []
+    for entry in attribution.transitions:
+        badge = (
+            '<span class="badge">● on C*</span>'
+            if entry.is_bottleneck
+            else ""
+        )
+        pct = float(entry.utilization) * 100.0
+        slack_text = (
+            "0 (critical)"
+            if entry.is_bottleneck
+            else f"+{format_cell(entry.slack)} cycles"
+        )
+        cycle = " → ".join(entry.binding_cycle)
+        rows.append(
+            f'<tr class="{"bottleneck" if entry.is_bottleneck else ""}">'
+            f'<td class="name">{_esc(entry.transition)}{badge}</td>'
+            f"<td>{entry.duration}</td>"
+            f"<td>{entry.firings}</td>"
+            f'<td><span class="meter"><span style="width:{pct:.0f}%">'
+            f"</span></span> {_frac(entry.utilization)}</td>"
+            f"<td>{_esc(slack_text)}</td>"
+            f'<td class="name">{_esc(cycle)}</td></tr>'
+        )
+    return (
+        "<table><thead><tr>"
+        "<th>transition</th><th>τ</th><th>firings / period</th>"
+        "<th>utilization</th><th>slack before Ω changes</th>"
+        "<th>binding cycle</th>"
+        "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
+def _occupancy_html(occupancy: Mapping[str, Sequence[int]]) -> str:
+    cells = []
+    for place, series in occupancy.items():
+        peak = max(series) if series else 0
+        tip = (
+            f"{place}: tokens per cycle over the frustum "
+            f"{list(series)} (peak {peak})"
+        )
+        cells.append(
+            '<div class="spark">'
+            + _sparkline_svg(list(series), tip)
+            + f"{_esc(place)} <span>(peak {peak})</span></div>"
+        )
+    return f'<div class="sparkgrid">{"".join(cells)}</div>'
+
+
+def _history_html(history: Sequence[Mapping[str, Any]]) -> str:
+    """Trend charts from ledger records (same loop, append order)."""
+    cycle_points: List[TrendPoint] = []
+    detect_points: List[TrendPoint] = []
+    for record in history:
+        sha = str(record.get("git_sha", "?"))[:7]
+        payload = record.get("payload", {})
+        cycle = payload.get("cycle_time")
+        if isinstance(cycle, str) and "/" in cycle:
+            try:
+                num, den = cycle.split("/")
+                cycle = float(Fraction(int(num), int(den)))
+            except ValueError:
+                cycle = None
+        if isinstance(cycle, (int, float)):
+            cycle_points.append(
+                TrendPoint(sha, float(cycle), f"{sha}: cycle time {cycle}")
+            )
+        phases = record.get("timing", {}).get("phase_wall_clock", {})
+        detect = phases.get("phase.detect-frustum") or phases.get(
+            "petrinet.detect_frustum"
+        )
+        if isinstance(detect, Mapping) and isinstance(
+            detect.get("total"), (int, float)
+        ):
+            seconds = float(detect["total"])
+            detect_points.append(
+                TrendPoint(sha, seconds, f"{sha}: detection {seconds:.6f}s")
+            )
+    if len(cycle_points) < 2 and len(detect_points) < 2:
+        return (
+            '<p class="note">Not enough ledger history for trends yet — '
+            "append runs with <code>repro schedule &lt;loop&gt; "
+            "--ledger</code> or <code>make bench</code>.</p>"
+        )
+    sections = []
+    if len(cycle_points) >= 2:
+        sections.append("<h2>Cycle time across commits</h2>")
+        sections.append(_trend_svg(cycle_points, "cycles"))
+        sections.append(_trend_table(cycle_points, "cycle time"))
+    if len(detect_points) >= 2:
+        sections.append("<h2>Frustum-detection cost across commits</h2>")
+        sections.append(_trend_svg(detect_points, "seconds"))
+        sections.append(_trend_table(detect_points, "detection seconds"))
+    return "".join(sections)
+
+
+def _trend_table(points: Sequence[TrendPoint], label: str) -> str:
+    rows = "".join(
+        f'<tr><td class="name">{_esc(p.label)}</td><td>{p.value:g}</td></tr>'
+        for p in points
+    )
+    return (
+        f"<details><summary>table view — {_esc(label)}</summary>"
+        f"<table><thead><tr><th>commit</th><th>{_esc(label)}</th></tr>"
+        f"</thead><tbody>{rows}</tbody></table></details>"
+    )
+
+
+def render_dash(
+    loop_name: str,
+    attribution: AttributionReport,
+    schedule: Any,
+    durations: Mapping[str, int],
+    occupancy: Mapping[str, Sequence[int]],
+    history: Sequence[Mapping[str, Any]] = (),
+    git_sha: str = "unknown",
+) -> str:
+    """Assemble the complete self-contained HTML document."""
+    kernel_by_name: Dict[str, List[Tuple[int, int]]] = {}
+    for rel, name, base in sorted(schedule.kernel):
+        kernel_by_name.setdefault(name, []).append((rel, base))
+    kernel_rows = sorted(kernel_by_name.items())
+
+    has_critical = bool(attribution.critical_transitions)
+    has_noncritical = len(attribution.critical_transitions) < len(
+        attribution.transitions
+    )
+    legend = ""
+    if has_critical and has_noncritical:
+        legend = (
+            '<div class="legend">'
+            '<span class="key" style="background:var(--critical)"></span>'
+            "● on a critical cycle (zero slack)"
+            '<span class="key" style="background:var(--series-1)"></span>'
+            "off the critical cycle</div>"
+        )
+    elif has_critical:
+        legend = (
+            '<div class="legend">'
+            '<span class="key" style="background:var(--critical)"></span>'
+            "● every transition lies on a critical cycle "
+            "(all zero slack)</div>"
+        )
+
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        f"<title>repro dash — {_esc(loop_name)}</title>",
+        f"<style>{_CSS}</style></head>",
+        '<body class="viz-root">',
+        f"<h1>repro dash — loop {_esc(loop_name)}</h1>",
+        f'<p class="subtitle">steady-state attribution at commit '
+        f"{_esc(git_sha[:12])} · p = Ω(C*) = "
+        f"{_frac(attribution.cycle_time)}</p>",
+        _tiles_html(attribution, schedule),
+        '<div class="card"><h2 style="margin-top:0">Steady-state kernel '
+        f"(II = {schedule.initiation_interval})</h2>",
+        legend,
+        _gantt_svg(
+            kernel_rows,
+            schedule.initiation_interval,
+            durations,
+            attribution.critical_transitions,
+        ),
+        "</div>",
+        '<div class="card"><h2 style="margin-top:0">Bottleneck attribution'
+        "</h2>"
+        '<p class="note">Slack: how much a transition’s firing time '
+        "could grow before the cycle time Ω(C*) — and with it the "
+        "optimal rate — changes. Zero-slack transitions are exactly "
+        "the ones on a critical cycle.</p>",
+        _slack_table_html(attribution),
+        "</div>",
+        '<div class="card"><h2 style="margin-top:0">Token occupancy per '
+        "place (frustum window)</h2>",
+        _occupancy_html(occupancy),
+        "</div>",
+        '<div class="card">',
+        _history_html(history),
+        "</div>",
+        "</body></html>",
+    ]
+    return "\n".join(parts)

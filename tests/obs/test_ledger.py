@@ -1,0 +1,111 @@
+"""The run ledger: record schema, normalization, append/load."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.obs import (
+    SCHEMA_VERSION,
+    append_record,
+    latest_by_name,
+    load_records,
+    make_run_record,
+    stable_json,
+    validate_record,
+)
+from repro.obs.schema import normalize_payload, normalize_value
+
+
+class TestNormalization:
+    def test_fractions_become_ratio_strings(self):
+        assert normalize_value(Fraction(1, 2)) == "1/2"
+        assert normalize_value(Fraction(6, 2)) == 3  # integral stays int
+
+    def test_floats_round_to_fixed_precision(self):
+        assert normalize_value(0.1 + 0.2) == 0.3
+
+    def test_containers_recurse(self):
+        payload = normalize_payload(
+            {"rates": [Fraction(1, 3)], "nested": {"x": Fraction(2, 4)}}
+        )
+        assert payload == {"rates": ["1/3"], "nested": {"x": "1/2"}}
+
+    def test_stable_json_sorts_keys(self):
+        assert stable_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestRecords:
+    def test_make_run_record_shape(self):
+        record = make_run_record(
+            kind="cli",
+            name="schedule:L2",
+            payload={"cycle_time": Fraction(3, 1), "loop": "L2"},
+            command=["schedule", "x.loop"],
+            phase_wall_clock={"phase.parse": {"total": 0.01}},
+        )
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["kind"] == "cli"
+        assert record["payload"]["cycle_time"] == 3
+        assert record["command"] == ["schedule", "x.loop"]
+        assert "phase_wall_clock" in record["timing"]
+        assert "timestamp" in record["environment"]
+        validate_record(record)  # must not raise
+
+    def test_validate_rejects_bad_kind(self):
+        record = make_run_record(kind="bench", name="x", payload={})
+        record["kind"] = "banana"
+        with pytest.raises(LedgerError):
+            validate_record(record)
+
+    def test_validate_rejects_future_schema(self):
+        record = make_run_record(kind="bench", name="x", payload={})
+        record["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(LedgerError):
+            validate_record(record)
+
+    def test_validate_rejects_missing_fields(self):
+        with pytest.raises(LedgerError):
+            validate_record({"kind": "bench", "name": "x", "payload": {}})
+
+
+class TestStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "ledger" / "runs.jsonl"
+        first = make_run_record(kind="bench", name="a", payload={"v": 1})
+        second = make_run_record(kind="bench", name="b", payload={"v": 2})
+        append_record(path, first)
+        append_record(path, second)
+        records = load_records(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+        # the store is JSONL: one stable-JSON record per line
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "a"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_records(tmp_path / "absent.jsonl") == []
+
+    def test_corrupt_line_names_file_and_line(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        good = make_run_record(kind="bench", name="a", payload={})
+        path.write_text(stable_json(good) + "\n{broken\n")
+        with pytest.raises(LedgerError) as excinfo:
+            load_records(path)
+        assert "runs.jsonl:2" in str(excinfo.value)
+
+    def test_latest_by_name_keeps_last_line(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        old = make_run_record(kind="bench", name="a", payload={"v": 1})
+        new = make_run_record(kind="bench", name="a", payload={"v": 2})
+        append_record(path, old)
+        append_record(path, new)
+        latest = latest_by_name(load_records(path))
+        assert latest["a"]["payload"]["v"] == 2
+
+    def test_append_validates_before_writing(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with pytest.raises(LedgerError):
+            append_record(path, {"kind": "bench"})
+        assert not path.exists()

@@ -46,7 +46,61 @@ class TestHistogram:
         dump = Histogram("h").dump()
         assert dump == {
             "count": 0, "total": 0.0, "mean": 0.0, "min": None, "max": None,
+            "p50": None, "p95": None,
         }
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_has_no_percentile(self):
+        histogram = Histogram("h")
+        assert histogram.percentile(50) is None
+        assert histogram.percentile(0) is None
+        assert histogram.percentile(100) is None
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = Histogram("h")
+        histogram.observe(7.5)
+        for q in (0, 1, 50, 95, 100):
+            assert histogram.percentile(q) == 7.5
+
+    def test_duplicate_values_collapse(self):
+        histogram = Histogram("h")
+        for _ in range(10):
+            histogram.observe(3.0)
+        assert histogram.percentile(50) == 3.0
+        assert histogram.percentile(95) == 3.0
+
+    def test_nearest_rank_picks_observations(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        # nearest-rank: an actual sample, never an interpolation
+        assert histogram.percentile(50) == 2.0
+        assert histogram.percentile(75) == 3.0
+        assert histogram.percentile(76) == 4.0
+        assert histogram.percentile(100) == 4.0
+        assert histogram.percentile(0) == 1.0
+
+    def test_out_of_range_raises(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_sample_window_is_bounded(self):
+        histogram = Histogram("h")
+        for i in range(Histogram.MAX_SAMPLES + 100):
+            histogram.observe(float(i))
+        assert histogram.count == Histogram.MAX_SAMPLES + 100
+        assert len(histogram._samples) == Histogram.MAX_SAMPLES
+
+    def test_reset_drops_samples(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        histogram.reset()
+        assert histogram.percentile(50) is None
 
 
 class TestRegistry:

@@ -1,0 +1,131 @@
+"""The benchmark regression gate behind ``repro bench-check``."""
+
+import pytest
+
+from repro.errors import RegressionError
+from repro.obs import (
+    compare_records,
+    load_results_records,
+    make_run_record,
+    run_gate,
+    stable_json,
+)
+
+
+def bench_record(name="fig1", payload=None, phases=None):
+    return make_run_record(
+        kind="bench",
+        name=name,
+        payload=payload if payload is not None else {"cycle_time": 2},
+        phase_wall_clock=phases,
+    )
+
+
+class TestCompare:
+    def test_identical_records_pass(self):
+        base = {"fig1": bench_record()}
+        report = compare_records(base, {"fig1": bench_record()})
+        assert not report.differences
+        assert not report.failed()
+        assert "OK" in report.render()
+
+    def test_payload_drift_is_hard(self):
+        base = {"fig1": bench_record(payload={"cycle_time": 2})}
+        curr = {"fig1": bench_record(payload={"cycle_time": 3})}
+        report = compare_records(base, curr)
+        assert report.failed()
+        (diff,) = report.hard_failures
+        assert diff.field == "cycle_time"
+        assert (diff.baseline, diff.current) == (2, 3)
+
+    def test_nested_payload_paths_are_dotted(self):
+        base = {"t": bench_record(payload={"rows": [{"rate": "1/2"}]})}
+        curr = {"t": bench_record(payload={"rows": [{"rate": "1/3"}]})}
+        report = compare_records(base, curr)
+        (diff,) = report.hard_failures
+        assert diff.field == "rows[0].rate"
+
+    def test_missing_bench_is_hard_new_bench_is_info(self):
+        base = {"gone": bench_record("gone")}
+        curr = {"new": bench_record("new")}
+        report = compare_records(base, curr)
+        severities = {d.bench: d.severity for d in report.differences}
+        assert severities == {"gone": "hard", "new": "info"}
+        assert report.failed()  # missing result file fails
+
+    def test_wall_clock_growth_is_soft(self):
+        base = {
+            "b": bench_record(phases={"phase.x": {"total": 1.0}})
+        }
+        curr = {
+            "b": bench_record(phases={"phase.x": {"total": 10.0}})
+        }
+        report = compare_records(base, curr, wall_tolerance=5.0)
+        assert not report.hard_failures
+        (diff,) = report.soft_failures
+        assert diff.field == "wall:phase.x"
+        assert not report.failed()
+        assert report.failed(wall_hard=True)
+
+    def test_wall_clock_below_floor_is_ignored(self):
+        base = {"b": bench_record(phases={"phase.x": {"total": 0.001}})}
+        curr = {"b": bench_record(phases={"phase.x": {"total": 1.0}})}
+        report = compare_records(base, curr, wall_floor=0.05)
+        assert not report.differences
+
+    def test_render_shows_diff_table(self):
+        base = {"fig1": bench_record(payload={"cycle_time": 2})}
+        curr = {"fig1": bench_record(payload={"cycle_time": 3})}
+        text = compare_records(base, curr).render()
+        assert "cycle_time" in text
+        assert "HARD" in text
+        assert "1 hard" in text
+
+
+class TestLoading:
+    def test_loads_records_by_name(self, tmp_path):
+        (tmp_path / "a.json").write_text(
+            stable_json(bench_record("alpha"), indent=2)
+        )
+        records = load_results_records(tmp_path)
+        assert list(records) == ["alpha"]
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(RegressionError):
+            load_results_records(tmp_path / "nope")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(RegressionError):
+            load_results_records(tmp_path)
+
+    def test_pre_schema_file_raises_with_hint(self, tmp_path):
+        (tmp_path / "old.json").write_text('{"bench": "old-style"}')
+        with pytest.raises(RegressionError) as excinfo:
+            load_results_records(tmp_path)
+        assert "make bench" in str(excinfo.value)
+
+
+class TestRunGate:
+    def test_end_to_end(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "a.json").write_text(
+            stable_json(bench_record("a"), indent=2)
+        )
+        baseline = tmp_path / "baseline.jsonl"
+        baseline.write_text(stable_json(bench_record("a")) + "\n")
+        report = run_gate(results, baseline)
+        assert not report.failed()
+        assert report.checked == ["a"]
+
+    def test_empty_baseline_raises_with_hint(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "a.json").write_text(
+            stable_json(bench_record("a"), indent=2)
+        )
+        baseline = tmp_path / "baseline.jsonl"
+        baseline.write_text("")
+        with pytest.raises(RegressionError) as excinfo:
+            run_gate(results, baseline)
+        assert "--update-baseline" in str(excinfo.value)

@@ -1,0 +1,137 @@
+"""The self-contained HTML dashboard (``repro dash``)."""
+
+import xml.etree.ElementTree as ET
+import re
+
+import pytest
+
+from repro.core import attribute_bottlenecks, derive_schedule, place_occupancy
+from repro.obs import make_run_record
+from repro.petrinet import detect_frustum
+from repro.report import render_dash
+
+
+@pytest.fixture
+def l2_dash(l2_pn_abstract):
+    frustum, behavior = detect_frustum(
+        l2_pn_abstract.timed, l2_pn_abstract.initial
+    )
+    attribution = attribute_bottlenecks(l2_pn_abstract, frustum)
+    schedule = derive_schedule(frustum, behavior)
+    occupancy = place_occupancy(behavior, frustum)
+    return l2_pn_abstract, attribution, schedule, occupancy
+
+
+def render(l2_dash, history=()):
+    pn, attribution, schedule, occupancy = l2_dash
+    return render_dash(
+        loop_name="L2",
+        attribution=attribution,
+        schedule=schedule,
+        durations=pn.durations,
+        occupancy=occupancy,
+        history=history,
+        git_sha="deadbeefcafe",
+    )
+
+
+class TestSelfContained:
+    def test_single_document_no_external_assets(self, l2_dash):
+        html = render(l2_dash)
+        assert html.startswith("<!DOCTYPE html>")
+        for needle in ("http://", "https://", "src=", "<script", "@import"):
+            assert needle not in html
+        assert "<style>" in html  # styles are inline
+
+    def test_dark_mode_is_selected_not_flipped(self, l2_dash):
+        html = render(l2_dash)
+        assert "prefers-color-scheme: dark" in html
+        # dark mode re-binds the series custom property to its own step
+        assert "#3987e5" in html and "#2a78d6" in html
+
+
+class TestBottleneckMarking:
+    def test_zero_slack_rows_are_exactly_the_critical_set(self, l2_dash):
+        _, attribution, _, _ = l2_dash
+        html = render(l2_dash)
+        assert html.count("0 (critical)") == len(
+            attribution.critical_transitions
+        )
+        for name in attribution.critical_transitions:
+            assert name in html
+
+    def test_bottlenecks_carry_icon_and_label_not_just_color(self, l2_dash):
+        html = render(l2_dash)
+        assert "● on C*" in html  # status color never travels alone
+
+    def test_noncritical_rows_state_their_slack(self, l2_dash):
+        html = render(l2_dash)
+        assert "+1 cycles" in html  # A and B can grow by one cycle
+
+
+class TestCharts:
+    def test_all_svgs_parse(self, l2_dash):
+        html = render(l2_dash)
+        svgs = re.findall(r"<svg.*?</svg>", html, re.S)
+        assert len(svgs) >= 3  # gantt + sparklines at minimum
+        for svg in svgs:
+            ET.fromstring(svg)
+
+    def test_gantt_rows_cover_every_instruction(self, l2_dash):
+        pn, _, schedule, _ = l2_dash
+        html = render(l2_dash)
+        gantt = re.search(
+            r'<svg[^>]*Steady-state kernel timeline.*?</svg>', html, re.S
+        ).group(0)
+        for name in pn.net.transition_names:
+            assert name in gantt
+
+    def test_marks_have_native_tooltips(self, l2_dash):
+        html = render(l2_dash)
+        assert "<title>" in html
+
+    def test_occupancy_sparkline_per_place(self, l2_dash):
+        import html as html_module
+
+        _, _, _, occupancy = l2_dash
+        document = render(l2_dash)
+        for place in occupancy:
+            assert html_module.escape(place) in document
+
+
+class TestTrends:
+    @staticmethod
+    def history_record(sha, cycle, seconds):
+        record = make_run_record(
+            kind="cli",
+            name="schedule:L2",
+            payload={"loop": "L2", "cycle_time": cycle},
+            phase_wall_clock={"phase.detect-frustum": {"total": seconds}},
+        )
+        record["git_sha"] = sha
+        return record
+
+    def test_too_little_history_shows_notice(self, l2_dash):
+        html = render(l2_dash, history=[self.history_record("a" * 40, 3, 0.1)])
+        assert "Not enough ledger history" in html
+
+    def test_trend_charts_and_table_views(self, l2_dash):
+        history = [
+            self.history_record("a" * 40, 3, 0.10),
+            self.history_record("b" * 40, 3, 0.12),
+            self.history_record("c" * 40, 4, 0.11),
+        ]
+        html = render(l2_dash, history=history)
+        assert "Cycle time across commits" in html
+        assert "Frustum-detection cost across commits" in html
+        # every chart has a table twin, labelled by short sha
+        assert "table view" in html
+        assert "aaaaaaa" in html
+
+    def test_fraction_cycle_times_are_plotted(self, l2_dash):
+        history = [
+            self.history_record("a" * 40, "5/2", 0.1),
+            self.history_record("b" * 40, "7/2", 0.1),
+        ]
+        html = render(l2_dash, history=history)
+        assert "Cycle time across commits" in html

@@ -74,3 +74,44 @@ class TestRenderSchedule:
         assert "rate=1/2" in text
         assert "kernel" in text
         assert "prologue" in text
+
+
+L1_GOLDEN = """\
+software-pipelined schedule: II=2, iterations/kernel=1, rate=1/2
+  prologue:
+       0: A[0]
+       1: B[0]  C[0]
+  kernel (repeats every II cycles; i = kernel instance):
+    +  0: A[i*1+1]  D[i*1+0]
+    +  1: B[i*1+1]  C[i*1+1]  E[i*1+0]"""
+
+L2_GOLDEN = """\
+software-pipelined schedule: II=3, iterations/kernel=1, rate=1/3
+  prologue:
+       0: A[0]
+       1: B[0]  C[0]
+  kernel (repeats every II cycles; i = kernel instance):
+    +  0: A[i*1+1]  D[i*1+0]
+    +  1: B[i*1+1]  E[i*1+0]
+    +  2: C[i*1+1]"""
+
+
+class TestRenderScheduleGolden:
+    """Exact renderings of the paper's two kernels.
+
+    These freeze the user-facing schedule format (the thing EXPERIMENTS
+    transcripts and ledger payloads quote); reflow it deliberately or
+    not at all.
+    """
+
+    def test_l1_kernel_golden(self, l1_artifacts):
+        _, frustum, behavior = l1_artifacts
+        schedule = derive_schedule(frustum, behavior)
+        assert render_schedule(schedule) == L1_GOLDEN
+
+    def test_l2_kernel_golden(self, l2_pn_abstract):
+        frustum, behavior = detect_frustum(
+            l2_pn_abstract.timed, l2_pn_abstract.initial
+        )
+        schedule = derive_schedule(frustum, behavior)
+        assert render_schedule(schedule) == L2_GOLDEN

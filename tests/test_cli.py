@@ -178,6 +178,197 @@ class TestProfile:
         assert status == 0
         assert "Wall-clock profile" not in text
 
+    def test_command_with_no_phases_prints_clear_notice(self, gate_dirs):
+        # bench-check compiles nothing, so instead of an empty or
+        # degenerate table the profile explains why there is no data
+        results, baseline = gate_dirs
+        status, text = run(
+            ["bench-check", "--results", results, "--baseline", baseline,
+             "--profile"]
+        )
+        assert status == 0
+        assert "no phases were recorded" in text
+        assert "Wall-clock profile" not in text
+
+
+@pytest.fixture
+def gate_dirs(tmp_path):
+    """A results directory and matching baseline file for bench-check."""
+    from repro.obs import make_run_record, stable_json
+
+    record = make_run_record(
+        kind="bench", name="fig_x", payload={"cycle_time": 2}
+    )
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig_x.json").write_text(stable_json(record, indent=2))
+    baseline = tmp_path / "baseline.jsonl"
+    baseline.write_text(stable_json(record) + "\n")
+    return str(results), str(baseline)
+
+
+class TestBenchCheck:
+    def test_clean_results_exit_zero(self, gate_dirs):
+        results, baseline = gate_dirs
+        status, text = run(
+            ["bench-check", "--results", results, "--baseline", baseline]
+        )
+        assert status == 0
+        assert "OK: current results match the baseline" in text
+
+    def test_perturbed_cycle_time_exits_nonzero(self, gate_dirs, tmp_path):
+        import json
+
+        results, baseline = gate_dirs
+        path = tmp_path / "results" / "fig_x.json"
+        record = json.loads(path.read_text())
+        record["payload"]["cycle_time"] = 3
+        path.write_text(json.dumps(record))
+        status, text = run(
+            ["bench-check", "--results", results, "--baseline", baseline]
+        )
+        assert status == 1
+        assert "cycle_time" in text and "HARD" in text
+
+    def test_wall_clock_soft_fails_only_with_wall_hard(self, tmp_path):
+        from repro.obs import make_run_record, stable_json
+
+        def rec(seconds):
+            return make_run_record(
+                kind="bench",
+                name="b",
+                payload={"v": 1},
+                phase_wall_clock={"phase.x": {"total": seconds}},
+            )
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "b.json").write_text(stable_json(rec(10.0), indent=2))
+        baseline = tmp_path / "baseline.jsonl"
+        baseline.write_text(stable_json(rec(1.0)) + "\n")
+        argv = ["bench-check", "--results", str(results),
+                "--baseline", str(baseline)]
+        status, text = run(argv)
+        assert status == 0 and "SOFT" in text
+        status, _ = run(argv + ["--wall-hard"])
+        assert status == 1
+
+    def test_update_baseline_writes_jsonl(self, gate_dirs, tmp_path):
+        results, _ = gate_dirs
+        new_baseline = tmp_path / "fresh" / "baseline.jsonl"
+        status, text = run(
+            ["bench-check", "--results", results,
+             "--baseline", str(new_baseline), "--update-baseline"]
+        )
+        assert status == 0
+        assert "wrote 1 baseline record(s)" in text
+        status, _ = run(
+            ["bench-check", "--results", results,
+             "--baseline", str(new_baseline)]
+        )
+        assert status == 0
+
+    def test_missing_baseline_is_an_error(self, gate_dirs, tmp_path):
+        results, _ = gate_dirs
+        status, _ = run(
+            ["bench-check", "--results", results,
+             "--baseline", str(tmp_path / "none.jsonl")]
+        )
+        assert status == 1
+
+
+class TestDash:
+    def test_writes_self_contained_html(self, l2_file, tmp_path):
+        output = tmp_path / "dash.html"
+        status, text = run(
+            ["dash", l2_file, "--abstract", "-o", str(output)]
+        )
+        assert status == 0
+        assert "3 bottleneck transition(s) on C*: C, D, E" in text
+        html = output.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        for needle in ("http://", "https://", "src=", "<script"):
+            assert needle not in html
+
+    def test_zero_slack_marks_exactly_the_critical_transitions(
+        self, l2_file, tmp_path
+    ):
+        output = tmp_path / "dash.html"
+        status, _ = run(["dash", l2_file, "--abstract", "-o", str(output)])
+        assert status == 0
+        html = output.read_text()
+        assert html.count("0 (critical)") == 3  # C, D, E and nothing else
+
+    def test_default_output_path(self, l2_file):
+        status, text = run(["dash", l2_file, "--abstract"])
+        assert status == 0
+        assert f"{l2_file}.dash.html" in text
+
+    def test_history_feeds_trend_charts(self, l2_file, tmp_path):
+        # two ledger runs for the same loop unlock the trend section
+        for _ in range(2):
+            status, _ = run(
+                ["schedule", l2_file, "--abstract",
+                 "--ledger", str(tmp_path / "ledger")]
+            )
+            assert status == 0
+        output = tmp_path / "dash.html"
+        status, text = run(
+            ["dash", l2_file, "--abstract", "-o", str(output),
+             "--history", str(tmp_path / "ledger" / "runs.jsonl")]
+        )
+        assert status == 0
+        assert "2 ledger run(s) in trend history" in text
+        assert "Cycle time across commits" in output.read_text()
+
+
+class TestLedgerFlag:
+    def test_schedule_appends_normalized_record(self, l2_file, tmp_path):
+        from repro.obs import load_records
+
+        ledger = tmp_path / "ledger"
+        status, text = run(
+            ["schedule", l2_file, "--abstract", "--ledger", str(ledger)]
+        )
+        assert status == 0
+        assert "appended run record" in text
+        (record,) = load_records(ledger / "runs.jsonl")
+        assert record["kind"] == "cli"
+        assert record["name"] == "schedule:L2"
+        assert record["payload"]["cycle_time"] == 3
+        assert record["payload"]["frustum_length"] == 3
+        assert "phase.detect-frustum" in (
+            record["timing"]["phase_wall_clock"]
+        )
+
+    def test_ledger_is_append_only(self, l2_file, tmp_path):
+        from repro.obs import load_records
+
+        ledger = tmp_path / "ledger"
+        for argv in (
+            ["schedule", l2_file, "--abstract", "--ledger", str(ledger)],
+            ["analyze", l2_file, "--abstract", "--ledger", str(ledger)],
+        ):
+            status, _ = run(argv)
+            assert status == 0
+        names = [r["name"] for r in load_records(ledger / "runs.jsonl")]
+        assert names == ["schedule:L2", "analyze:L2"]
+
+    def test_ledger_flag_leaves_registry_disabled(self, l2_file, tmp_path):
+        from repro.obs import default_registry
+
+        status, _ = run(
+            ["schedule", l2_file, "--abstract",
+             "--ledger", str(tmp_path / "led")]
+        )
+        assert status == 0
+        assert not default_registry().enabled
+
+    def test_no_ledger_no_append(self, l2_file, tmp_path):
+        status, text = run(["schedule", l2_file, "--abstract"])
+        assert status == 0
+        assert "appended run record" not in text
+
 
 class TestParser:
     def test_requires_command(self):
