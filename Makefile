@@ -1,12 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke bench bench-check baseline dash clean
+.PHONY: verify test smoke doctest linkcheck bench bench-check baseline dash clean
 
-verify: test smoke
+verify: test doctest linkcheck smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+doctest:
+	$(PYTHON) -m pytest --doctest-modules src/repro/petrinet src/repro/core -q
+
+linkcheck:
+	$(PYTHON) tools/check_links.py
 
 smoke:
 	$(PYTHON) -m repro trace examples/l1.loop --abstract -o /tmp/l1.trace.json

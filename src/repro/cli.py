@@ -72,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="drop load/store nodes (the paper's figure mode)",
         )
         sub.add_argument(
+            "--engine",
+            choices=["step", "event"],
+            default="event",
+            help=(
+                "simulation engine for frustum detection: 'event' "
+                "(default) jumps between completion instants, 'step' "
+                "advances one time unit per tick; results are identical"
+            ),
+        )
+        sub.add_argument(
             "--profile",
             action="store_true",
             help="print a per-phase wall-clock table after the output",
@@ -253,6 +263,7 @@ def _compile(args: argparse.Namespace, stages: Optional[int] = None):
         pipeline_stages=stages,
         include_io=not args.abstract,
         instrumentation=_instrumentation(args),
+        engine=getattr(args, "engine", "event"),
     )
     if getattr(args, "ledger", None) is not None:
         # stable facts for the run ledger; main() appends the record
@@ -267,6 +278,7 @@ def _compile(args: argparse.Namespace, stages: Optional[int] = None):
             "repeat_time": result.frustum.repeat_time,
             "n_transitions": len(result.pn.net.transition_names),
             "net_size": result.pn.size,
+            "engine": result.engine,
         }
     return result
 
@@ -408,7 +420,11 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
     obs = Instrumentation(sinks=[sink])
     try:
         frustum, behavior = detect_frustum(
-            timed_net, initial, policy, instrumentation=obs
+            timed_net,
+            initial,
+            policy,
+            instrumentation=obs,
+            engine=getattr(args, "engine", "event"),
         )
     finally:
         obs.close()
@@ -435,6 +451,7 @@ def _cmd_dash(args: argparse.Namespace, out) -> int:
     import pathlib
 
     from .core.attribution import attribute_bottlenecks, place_occupancy
+    from .errors import LedgerError
     from .obs.ledger import (
         RUNS_FILE,
         default_ledger_dir,
@@ -453,13 +470,23 @@ def _cmd_dash(args: argparse.Namespace, out) -> int:
         if args.history
         else default_ledger_dir() / RUNS_FILE
     )
+    # A missing, empty, or unreadable ledger must never block the
+    # dashboard — trends degrade to the placeholder panel instead.
     history = []
     if history_path.is_file():
-        history = [
-            record
-            for record in load_records(history_path)
-            if record.get("payload", {}).get("loop") == loop_name
-        ]
+        try:
+            history = [
+                record
+                for record in load_records(history_path)
+                if record.get("payload", {}).get("loop") == loop_name
+            ]
+        except LedgerError as error:
+            log.warning("ignoring unreadable ledger history: %s", error)
+            print(
+                f"warning: ignoring unreadable ledger history ({error})",
+                file=out,
+            )
+            history = []
 
     document = render_dash(
         loop_name=loop_name,

@@ -144,36 +144,87 @@ def attribute_bottlenecks(
     )
 
 
+def _post_firing_marking(behavior: BehaviorGraph, step) -> Dict[str, int]:
+    """The marking *after* the step's firings consumed their inputs —
+    what every quiet tick until the next event observes."""
+    from ..petrinet.behavior import TransitionInstance
+
+    marking = {place: step.state.marking[place] for place in step.state.marking}
+    for transition in step.fired:
+        instance = TransitionInstance(transition, step.time)
+        consumed = behavior.consumptions.get(instance)
+        if consumed is None:
+            raise AnalysisError(
+                "occupancy over a sparse (event-driven) behavior graph "
+                "needs consumption arcs; re-run detection with "
+                "record_arcs=True"
+            )
+        for place_instance in consumed:
+            marking[place_instance.place] -= 1
+            if marking[place_instance.place] == 0:
+                del marking[place_instance.place]
+    return marking
+
+
 def place_occupancy(
     behavior: BehaviorGraph,
     frustum: CyclicFrustum,
     places: Optional[Sequence[str]] = None,
 ) -> Dict[str, List[int]]:
-    """Token count per place at every step of the frustum window.
+    """Token count per place at every time step of the frustum window.
 
-    Returns one series per place, in step order over
+    Returns one series per place, one entry per tick of
     ``[start_time, repeat_time)`` — the data behind the dashboard's
     occupancy sparklines.  ``places`` restricts (and orders) the
-    output; by default every place seen in the frustum's instantaneous
-    states is included, sorted by name.
+    output; by default every place occupied anywhere in the window is
+    included, sorted by name.
+
+    Works for both engines: the step engine records every tick, so each
+    entry reads straight off a snapshot; the event engine records only
+    event ticks, so quiet ticks are forward-filled with the post-firing
+    marking of the most recent event (between events nothing fires and
+    nothing completes, so the marking is constant — the gap theorem of
+    :mod:`repro.petrinet.event_sim`).
     """
-    window = [
-        step
-        for step in behavior.steps
-        if frustum.start_time <= step.time < frustum.repeat_time
-    ]
-    if not window:
+    start, stop = frustum.start_time, frustum.repeat_time
+    relevant = [step for step in behavior.steps if step.time < stop]
+    if not relevant or stop <= start:
         raise AnalysisError(
             "behavior graph has no steps inside the frustum window"
         )
+    by_time = {step.time: step for step in relevant}
+    last_before = None
+    for step in relevant:
+        if step.time >= start:
+            break
+        last_before = step
+    fill: Optional[Dict[str, int]] = None  # computed lazily on first gap
+    fill_source = last_before
+    columns: List[Dict[str, int]] = []
+    for tick in range(start, stop):
+        step = by_time.get(tick)
+        if step is not None:
+            columns.append(
+                {place: step.state.marking[place] for place in step.state.marking}
+            )
+            fill, fill_source = None, step
+        else:
+            if fill is None:
+                if fill_source is None:
+                    raise AnalysisError(
+                        "behavior graph has no steps inside the frustum "
+                        "window"
+                    )
+                fill = _post_firing_marking(behavior, fill_source)
+            columns.append(dict(fill))
     if places is None:
         seen = set()
-        for step in window:
-            seen.update(step.state.marking)
+        for column in columns:
+            seen.update(column)
         names: Sequence[str] = sorted(seen)
     else:
         names = places
     return {
-        place: [step.state.marking[place] for step in window]
+        place: [column.get(place, 0) for column in columns]
         for place in names
     }

@@ -17,6 +17,18 @@ checks for every Livermore loop rather than assuming.
 Instances are labelled with absolute iteration numbers so the schedule
 can be expanded, validated against dependences and resources, and
 executed semantically (:mod:`repro.core.verify`).
+
+>>> from repro.loops import parse_loop, translate
+>>> from repro.core import build_sdsp_pn
+>>> from repro.petrinet import detect_frustum
+>>> pn = build_sdsp_pn(translate(parse_loop(
+...     "do tiny:\\n  A[i] = A[i-1] + IN[i]")).graph, include_io=False)
+>>> frustum, behavior = detect_frustum(pn.timed, pn.initial)
+>>> schedule = derive_schedule(frustum, behavior)
+>>> schedule.initiation_interval, schedule.iterations_per_kernel
+(1, 1)
+>>> schedule.rate
+Fraction(1, 1)
 """
 
 from __future__ import annotations

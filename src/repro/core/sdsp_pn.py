@@ -11,6 +11,14 @@ construction and are re-checked (not assumed) by the test suite:
 2. the net is a **marked graph** — every place is an arc of the
    dataflow graph and therefore has exactly one producer and one
    consumer.
+
+>>> from repro.loops import parse_loop, translate
+>>> pn = build_sdsp_pn(translate(parse_loop(
+...     "do tiny:\\n  A[i] = A[i-1] + IN[i]")).graph, include_io=False)
+>>> pn.size                      # one compute transition
+1
+>>> sorted(pn.durations.values())
+[1]
 """
 
 from __future__ import annotations

@@ -14,6 +14,20 @@ dataflow graph"; :class:`FifoRunPlacePolicy` reproduces that scheme.
 to demonstrate that *any* deterministic policy yields a frustum, and
 that different policies may yield different frustums with the same
 steady-state rate.
+
+Both policies work unchanged under either simulation engine.  The
+step engine calls :meth:`~repro.petrinet.simulator
+.ConflictResolutionPolicy.begin_step` every tick; the event engine
+only at event instants — sound because on a quiet tick nothing has
+completed or fired, so ``FifoRunPlacePolicy.begin_step`` would find no
+new data-ready transition to enqueue (the idle set and marking only
+change at events) and ``StaticPriorityPolicy`` keeps no state at all.
+Both engines offer candidates to :meth:`order` under the same
+greedy-with-recheck protocol, in the same adjacency-list order, so the
+conflict decisions — and hence the frustum — are bit-identical.  See
+the event-engine contract on
+:meth:`repro.petrinet.simulator.ConflictResolutionPolicy.begin_step`
+before writing a new policy.
 """
 
 from __future__ import annotations

@@ -3,9 +3,10 @@
 This package implements the Petri-net machinery of Appendix A of the
 paper: untimed nets and markings, reachability-based behavioural
 properties, marked-graph theory, timed nets with instantaneous states,
-the earliest-firing simulator, behavior graphs with cyclic-frustum
-detection, and cycle-time analysis (enumeration, parametric search and
-linear programming).
+the earliest-firing simulators (unit-time stepping and event-driven),
+behavior graphs with cyclic-frustum detection, and cycle-time analysis
+(Howard's policy iteration, enumeration, parametric search and linear
+programming).
 """
 
 from .net import Arc, PetriNet, Place, Transition
@@ -29,8 +30,10 @@ from .simulator import (
     FireAllPolicy,
     StepRecord,
 )
+from .event_sim import EventDrivenSimulator, EventFrustumDetector
 from .behavior import (
     BehaviorGraph,
+    BehaviorRecorder,
     BehaviorStep,
     CyclicFrustum,
     FrustumDetector,
@@ -38,6 +41,7 @@ from .behavior import (
     TransitionInstance,
     detect_frustum,
 )
+from .howard import HowardResult, cycle_time_howard, howard_analysis
 from .analysis import (
     CriticalCycleReport,
     CycleMetrics,
@@ -74,9 +78,12 @@ __all__ = [
     "TimedPetriNet",
     "ConflictResolutionPolicy",
     "EarliestFiringSimulator",
+    "EventDrivenSimulator",
+    "EventFrustumDetector",
     "FireAllPolicy",
     "StepRecord",
     "BehaviorGraph",
+    "BehaviorRecorder",
     "BehaviorStep",
     "CyclicFrustum",
     "FrustumDetector",
@@ -90,6 +97,9 @@ __all__ = [
     "cycle_metrics",
     "cycle_time_by_enumeration",
     "cycle_time_lawler",
+    "HowardResult",
+    "cycle_time_howard",
+    "howard_analysis",
     "PeriodicScheduleLP",
     "cycle_time_lp",
 ]

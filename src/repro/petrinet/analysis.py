@@ -22,9 +22,27 @@ suite:
   to the bounded-denominator rational the answer must be;
 * :mod:`repro.petrinet.linprog` — the LP formulation (Magott [30]).
 
+(The production path for rates, Howard's policy iteration, lives in
+:mod:`repro.petrinet.howard` and is cross-checked against all three.)
+
 Per Appendix A.7 the implicit self-loops of Assumption A.6.1 also count
 as cycles: a transition ``t`` contributes a cycle of ratio ``τ(t)/1``,
 so the cycle time is never below the longest execution time.
+
+>>> from repro.petrinet import PetriNet, Marking, MarkedGraphView
+>>> net = PetriNet(name="ring")
+>>> for t in ("a", "b"):
+...     _ = net.add_transition(t)
+>>> for place, (src, dst), tokens in [
+...     ("p", ("a", "b"), 1), ("q", ("b", "a"), 0)]:
+...     _ = net.add_place(place)
+...     _ = net.add_arc(src, place)
+...     _ = net.add_arc(place, dst)
+>>> view = MarkedGraphView(net, Marking({"p": 1}))
+>>> cycle_time_by_enumeration(view, {"a": 2, "b": 3})  # (2+3)/1 token
+Fraction(5, 1)
+>>> cycle_time_lawler(view, {"a": 2, "b": 3})
+Fraction(5, 1)
 """
 
 from __future__ import annotations

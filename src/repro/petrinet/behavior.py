@@ -37,6 +37,7 @@ __all__ = [
     "TransitionInstance",
     "BehaviorStep",
     "BehaviorGraph",
+    "BehaviorRecorder",
     "CyclicFrustum",
     "FrustumDetector",
     "detect_frustum",
@@ -159,37 +160,31 @@ class CyclicFrustum:
         return Fraction(self.transition_count(), self.length)
 
 
-class FrustumDetector:
-    """Runs the earliest-firing simulation, records the behavior graph,
-    and stops at the first repeated instantaneous state."""
+class BehaviorRecorder:
+    """Incrementally builds a :class:`BehaviorGraph` from
+    :class:`StepRecord` objects — shared by the step and event frustum
+    detectors so both record identical consumption/production arcs."""
 
     def __init__(
         self,
         timed_net: TimedPetriNet,
         initial: Marking,
-        policy: Optional[ConflictResolutionPolicy] = None,
         record_arcs: bool = True,
-        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
-        self.simulator = EarliestFiringSimulator(
-            timed_net, initial, policy, instrumentation=instrumentation
-        )
-        self._obs: Optional[Instrumentation] = (
-            instrumentation if instrumentation else None
-        )
+        self._timed_net = timed_net
+        self._net = timed_net.net
         self.record_arcs = record_arcs
         self.graph = BehaviorGraph()
-        self._seen: Dict[InstantaneousState, int] = {}
         # FIFO queues of pending token birth times, per place.
         self._pending: Dict[str, List[int]] = {
             p: [0] * initial[p] for p in timed_net.net.place_names
         }
 
-    def _record_step(self, record: StepRecord) -> None:
-        net = self.simulator.net
+    def record(self, record: StepRecord) -> None:
+        net = self._net
         newly_marked: List[str] = []
         for transition in record.completed:
-            duration = self.simulator.timed_net.duration(transition)
+            duration = self._timed_net.duration(transition)
             start = record.time - duration
             instance = TransitionInstance(transition, start)
             produced = []
@@ -212,6 +207,36 @@ class FrustumDetector:
                 record.time, record.fired, tuple(newly_marked), record.state
             )
         )
+
+
+class FrustumDetector:
+    """Runs the earliest-firing simulation, records the behavior graph,
+    and stops at the first repeated instantaneous state."""
+
+    def __init__(
+        self,
+        timed_net: TimedPetriNet,
+        initial: Marking,
+        policy: Optional[ConflictResolutionPolicy] = None,
+        record_arcs: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.simulator = EarliestFiringSimulator(
+            timed_net, initial, policy, instrumentation=instrumentation
+        )
+        self._obs: Optional[Instrumentation] = (
+            instrumentation if instrumentation else None
+        )
+        self.record_arcs = record_arcs
+        self._recorder = BehaviorRecorder(timed_net, initial, record_arcs)
+        self._seen: Dict[InstantaneousState, int] = {}
+
+    @property
+    def graph(self) -> BehaviorGraph:
+        return self._recorder.graph
+
+    def _record_step(self, record: StepRecord) -> None:
+        self._recorder.record(record)
 
     def detect(self, max_steps: int) -> CyclicFrustum:
         """Advance until an instantaneous state repeats.
@@ -264,6 +289,7 @@ def detect_frustum(
     policy: Optional[ConflictResolutionPolicy] = None,
     max_steps: Optional[int] = None,
     instrumentation: Optional[Instrumentation] = None,
+    engine: str = "step",
 ) -> Tuple[CyclicFrustum, BehaviorGraph]:
     """Convenience wrapper: detect the cyclic frustum and return it with
     the behavior graph that produced it.
@@ -275,13 +301,41 @@ def detect_frustum(
     ``instrumentation`` threads down to the simulator: the whole
     detection run streams firing/snapshot events plus one
     :class:`~repro.obs.events.FrustumDetected` when the state repeats.
+
+    ``engine`` selects the simulation engine: ``"step"`` runs the
+    unit-time :class:`~repro.petrinet.simulator.EarliestFiringSimulator`
+    and snapshots every tick; ``"event"`` runs the completion-heap
+    :class:`~repro.petrinet.event_sim.EventDrivenSimulator`, which jumps
+    between firing/completion instants and does work proportional to
+    firings rather than elapsed time.  Both return the same frustum (the
+    test suite cross-validates them); the event engine's behavior graph
+    simply omits the no-op gap steps.
+
+    >>> from repro.loops import parse_loop, translate
+    >>> from repro.core import build_sdsp_pn
+    >>> pn = build_sdsp_pn(translate(parse_loop(
+    ...     "do tiny:\\n  A[i] = A[i-1] + IN[i]")).graph, include_io=False)
+    >>> frustum, _ = detect_frustum(pn.timed, pn.initial, engine="event")
+    >>> (frustum.start_time, frustum.length)
+    (0, 1)
     """
     if max_steps is None:
         n = max(1, len(timed_net.net.transition_names))
         total_duration = sum(timed_net.durations.values())
         max_steps = max(10_000, 4 * n**4, 16 * total_duration)
-    detector = FrustumDetector(
-        timed_net, initial, policy, instrumentation=instrumentation
-    )
+    if engine == "step":
+        detector = FrustumDetector(
+            timed_net, initial, policy, instrumentation=instrumentation
+        )
+    elif engine == "event":
+        from .event_sim import EventFrustumDetector
+
+        detector = EventFrustumDetector(
+            timed_net, initial, policy, instrumentation=instrumentation
+        )
+    else:
+        raise SimulationError(
+            f"unknown simulation engine {engine!r}; expected 'step' or 'event'"
+        )
     frustum = detector.detect(max_steps)
     return frustum, detector.graph

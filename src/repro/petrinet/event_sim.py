@@ -1,0 +1,514 @@
+"""Event-driven simulation engine: completion-heap execution of timed
+Petri nets under the earliest firing rule.
+
+:class:`~repro.petrinet.simulator.EarliestFiringSimulator` advances in
+unit time steps — its cost is proportional to elapsed *time*, which the
+theory only bounds by O(n⁴) (Theorem 4.1.2).  The engine in this module
+exploits a structural fact of the earliest firing rule to do work
+proportional to *firings* instead:
+
+**Gap theorem.**  After the greedy-with-re-check firing loop of a step,
+no transition is both enabled and idle (each candidate either fired or
+was found disabled, and firings only *consume* tokens, so a rejected
+candidate cannot become enabled again within the step).  Tokens are
+deposited and transitions become idle only when a firing *completes*.
+Hence nothing can start at a time instant with no completion: between
+two consecutive completion instants the marking, the in-flight set and
+(for gap-invariant policies, see
+:class:`~repro.petrinet.simulator.ConflictResolutionPolicy.begin_step`)
+the policy state are all frozen.  The only *event times* are 0 and the
+completion instants, and it suffices to simulate those.
+
+:class:`EventDrivenSimulator` therefore keeps a heap of completion
+times and jumps directly from event to event, producing at each event
+exactly the :class:`~repro.petrinet.simulator.StepRecord` the step
+simulator would produce at that tick — same completions, same snapshot,
+same conflict offers to the policy, same firings, same instrumentation
+events.
+
+:class:`EventFrustumDetector` detects the cyclic frustum on top of
+this: it hashes the instantaneous state of every *event* (an
+incremental state-hash table — one insert per event instead of one per
+tick) and, on the first repeated event state, reconstructs the exact
+step-simulator answer.  States at gap times are recovered analytically
+(the marking is the post-firing marking of the previous event; the
+residuals are absolute completion times minus the queried instant), so
+the minimal transient ``ρ`` is found by walking the candidate
+breakpoints backwards — the resulting frustum, kernel and schedule are
+bit-identical to the step engine's.  See ``docs/ARCHITECTURE.md`` for
+the full argument.
+
+>>> from repro.petrinet import PetriNet, Marking, TimedPetriNet
+>>> from repro.petrinet import detect_frustum
+>>> net = PetriNet("ring")
+>>> for t in ("a", "b"):
+...     _ = net.add_transition(t)
+>>> for p, src, dst in (("ab", "a", "b"), ("ba", "b", "a")):
+...     _ = net.add_place(p)
+...     _ = net.add_arc(src, p)
+...     _ = net.add_arc(p, dst)
+>>> timed = TimedPetriNet(net, {"a": 3, "b": 2})
+>>> step_f, _ = detect_frustum(timed, Marking({"ba": 1}), engine="step")
+>>> event_f, _ = detect_frustum(timed, Marking({"ba": 1}), engine="event")
+>>> (step_f.start_time, step_f.repeat_time) == (event_f.start_time, event_f.repeat_time)
+True
+>>> step_f.schedule_steps == event_f.schedule_steps
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..obs.events import (
+    FiringCompleted,
+    FiringStarted,
+    FrustumDetected,
+    Instrumentation,
+    StateSnapshot,
+)
+from .behavior import BehaviorGraph, BehaviorRecorder, CyclicFrustum
+from .marking import Marking
+from .net import PetriNet
+from .simulator import ConflictResolutionPolicy, FireAllPolicy, StepRecord
+from .timed import InstantaneousState, TimedPetriNet
+
+__all__ = ["EventDrivenSimulator", "EventFrustumDetector"]
+
+
+class EventDrivenSimulator:
+    """Event-jumping executor for a :class:`TimedPetriNet`.
+
+    The constructor signature matches
+    :class:`~repro.petrinet.simulator.EarliestFiringSimulator`; the
+    difference is purely in how time advances: :meth:`advance` processes
+    the *next event* (time 0, then each completion instant) and returns
+    the very :class:`~repro.petrinet.simulator.StepRecord` the step
+    simulator would have produced at that tick.  Ticks in between carry
+    no completions and — by the gap theorem in the module docstring —
+    no firings either, so skipping them loses nothing.
+
+    Policies are offered candidates in the same order as under the step
+    engine (the net's transition declaration order) and with the same
+    greedy re-check, so conflict resolution is identical.  A policy that
+    overrides ``begin_step`` is called once per event; it must be
+    *gap-invariant* (see
+    :meth:`~repro.petrinet.simulator.ConflictResolutionPolicy.begin_step`)
+    for the two engines to coincide — both shipped policies are.
+    """
+
+    def __init__(
+        self,
+        timed_net: TimedPetriNet,
+        initial: Marking,
+        policy: Optional[ConflictResolutionPolicy] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.timed_net = timed_net
+        self.net: PetriNet = timed_net.net
+        self.policy = policy if policy is not None else FireAllPolicy()
+        self._obs: Optional[Instrumentation] = (
+            instrumentation if instrumentation else None
+        )
+        self._initial = initial
+        net = self.net
+        # Static structure, precomputed once: candidate discovery after a
+        # completion only looks at the completed transitions and the
+        # consumers of the places they deposited on.
+        self._tindex: Dict[str, int] = {
+            t: i for i, t in enumerate(net.transition_names)
+        }
+        self._inputs: Dict[str, Tuple[str, ...]] = {
+            t: tuple(net.input_places(t)) for t in net.transition_names
+        }
+        self._outputs: Dict[str, Tuple[str, ...]] = {
+            t: tuple(net.output_places(t)) for t in net.transition_names
+        }
+        self._consumers: Dict[str, Tuple[str, ...]] = {
+            p: tuple(net.output_transitions(p)) for p in net.place_names
+        }
+        # Only call begin_step on policies that actually override it;
+        # the base implementation is a documented no-op and skipping it
+        # saves the per-event idle-list construction.
+        self._policy_observes = (
+            type(self.policy).begin_step is not ConflictResolutionPolicy.begin_step
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to time 0 with the initial marking, an empty
+        completion heap and no in-flight firings."""
+        self.time = 0
+        self.marking = self._initial
+        self._started = False
+        # transition -> absolute completion time, mirrored in a heap of
+        # (completion time, transition) pairs; non-reentrance keeps at
+        # most one heap entry per transition, so no lazy deletion.
+        self._in_flight: Dict[str, int] = {}
+        self._heap: List[Tuple[int, str]] = []
+        self.total_firings: Dict[str, int] = {
+            t: 0 for t in self.net.transition_names
+        }
+        self.policy.reset()
+        self._check_policy_key()
+
+    def _check_policy_key(self) -> None:
+        """Fail fast on unhashable policy keys, exactly like the step
+        simulator (frustum detection hashes instantaneous states)."""
+        key = self.policy.state_key()
+        try:
+            hash(key)
+        except TypeError:
+            raise SimulationError(
+                f"policy {type(self.policy).__name__} returned an unhashable "
+                f"state_key {key!r}; frustum detection hashes the "
+                "instantaneous state (marking, residuals, policy key), so "
+                "state_key() must return a hashable tuple"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # State inspection (same surface as EarliestFiringSimulator)
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> Dict[str, int]:
+        """Copy of the map from busy transitions to completion times."""
+        return dict(self._in_flight)
+
+    def residuals(self) -> Dict[str, int]:
+        """Remaining execution time per busy transition, relative to the
+        current time."""
+        return {t: finish - self.time for t, finish in self._in_flight.items()}
+
+    def snapshot(self) -> InstantaneousState:
+        """Instantaneous state at the current time (between events the
+        marking and policy key are frozen; only residuals shift)."""
+        return InstantaneousState.make(
+            self.marking, self.residuals(), self.policy.state_key()
+        )
+
+    def is_deadlocked(self) -> bool:
+        """No in-flight work and nothing enabled."""
+        return not self._in_flight and not self._enabled_idle()
+
+    def next_event_time(self) -> Optional[int]:
+        """Time of the next event :meth:`advance` would process: 0
+        before the first call, else the earliest pending completion;
+        ``None`` when nothing is in flight (no further events ever)."""
+        if not self._started:
+            return 0
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def _enabled_idle(self) -> List[str]:
+        enabled = []
+        for transition in self.net.transition_names:
+            if transition in self._in_flight:
+                continue
+            if all(self.marking[p] > 0 for p in self._inputs[transition]):
+                enabled.append(transition)
+        return enabled
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def advance(self) -> StepRecord:
+        """Jump to the next event and process it (completions, policy
+        observation, snapshot, firings — the step simulator's intra-step
+        order).  Raises :class:`SimulationError` when no event is
+        pending (the net is deadlocked or permanently idle)."""
+        obs = self._obs
+        if self._started:
+            if not self._heap:
+                raise SimulationError(
+                    "no pending completions: the net is deadlocked or idle"
+                )
+            now = self._heap[0][0]
+        else:
+            now = 0
+            self._started = True
+
+        # 1. completions (every heap entry due now)
+        completed_list: List[str] = []
+        heap = self._heap
+        while heap and heap[0][0] == now:
+            completed_list.append(heapq.heappop(heap)[1])
+        completed = tuple(sorted(completed_list))
+        wake: set = set()
+        if completed:
+            deltas: Dict[str, int] = {}
+            for transition in completed:
+                del self._in_flight[transition]
+                wake.add(transition)
+                for place in self._outputs[transition]:
+                    deltas[place] = deltas.get(place, 0) + 1
+                    wake.update(self._consumers[place])
+            self.marking = self.marking.with_delta(deltas)
+            if obs is not None:
+                for transition in completed:
+                    obs.emit(
+                        FiringCompleted(
+                            now, transition, self.timed_net.duration(transition)
+                        )
+                    )
+
+        # 2. snapshot (also lets the policy observe the state)
+        if self._policy_observes:
+            idle = [
+                t for t in self.net.transition_names if t not in self._in_flight
+            ]
+            self.policy.begin_step(now, self.marking, idle)
+        state = InstantaneousState.make(
+            self.marking,
+            {t: finish - now for t, finish in self._in_flight.items()},
+            self.policy.state_key(),
+        )
+        if obs is not None:
+            obs.emit(
+                StateSnapshot(
+                    now,
+                    tuple(sorted(state.marking.items())),
+                    state.residuals,
+                    state.policy_key,
+                )
+            )
+
+        # 3. firings.  Candidates: by the gap theorem nothing was
+        # enabled+idle after the previous event's firing loop, so a
+        # candidate now must involve this event's completions — either
+        # it completed (newly idle) or a completion deposited on one of
+        # its input places.  Offered in transition declaration order,
+        # exactly like the step simulator's full scan.
+        if completed:
+            index = self._tindex
+            candidates = [
+                t
+                for t in sorted(wake, key=index.__getitem__)
+                if t not in self._in_flight
+                and all(self.marking[p] > 0 for p in self._inputs[t])
+            ]
+        else:  # first event (time 0): full scan, nothing in flight yet
+            candidates = self._enabled_idle()
+
+        fired: List[str] = []
+        for transition in self.policy.order(candidates):
+            if transition in self._in_flight:
+                continue
+            inputs = self._inputs[transition]
+            if not all(self.marking[p] > 0 for p in inputs):
+                continue  # lost a structural conflict earlier this event
+            duration = self.timed_net.duration(transition)
+            if duration < 1:
+                raise SimulationError(
+                    f"transition {transition!r} has non-positive firing "
+                    f"duration {duration}; durations must be >= 1 (was the "
+                    "TimedPetriNet.durations mapping mutated?)"
+                )
+            self.marking = self.marking.with_delta({p: -1 for p in inputs})
+            finish = now + duration
+            self._in_flight[transition] = finish
+            heapq.heappush(heap, (finish, transition))
+            self.total_firings[transition] += 1
+            self.policy.notify_fired(transition)
+            fired.append(transition)
+            if obs is not None:
+                obs.emit(FiringStarted(now, transition, duration))
+
+        self.time = now + 1
+        return StepRecord(now, completed, tuple(fired), state)
+
+    def run(
+        self,
+        max_events: int,
+        stop: Optional[Callable[[StepRecord], bool]] = None,
+    ) -> List[StepRecord]:
+        """Process up to ``max_events`` events, stopping early on
+        deadlock or when ``stop(record)`` returns True.  Raises
+        :class:`SimulationError` if a stop condition was requested but
+        never met within the budget."""
+        records: List[StepRecord] = []
+        for _ in range(max_events):
+            if self.is_deadlocked():
+                return records
+            record = self.advance()
+            records.append(record)
+            if stop is not None and stop(record):
+                return records
+        if stop is not None:
+            raise SimulationError(
+                f"stop condition not reached within {max_events} events"
+            )
+        return records
+
+
+class EventFrustumDetector:
+    """Cyclic-frustum detection on the event-driven engine.
+
+    Bit-compatible with :class:`~repro.petrinet.behavior.FrustumDetector`:
+    the returned :class:`~repro.petrinet.behavior.CyclicFrustum` has the
+    same ``start_time``/``repeat_time``/``state``/``schedule_steps``/
+    ``firing_counts``, and :attr:`graph` records the same consumption and
+    production arcs (its ``steps`` list only contains event ticks — gap
+    ticks fire nothing, which every downstream consumer treats as
+    equivalent).
+
+    Detection hashes the instantaneous state of each event.  The first
+    repeated *event* state fixes the exact period ``p`` (within one
+    steady-state period all states are distinct, so the first event-level
+    match is exactly one period apart); the minimal transient ``ρ`` is
+    then recovered by evaluating ``s(t) == s(t+p)`` backwards over the
+    finitely many *breakpoints* where that predicate can change — the
+    instants adjacent to an event on either side of the comparison.
+    Between breakpoints both sides shift their residuals in lockstep, so
+    the predicate is constant there and the walk is exact.
+    """
+
+    def __init__(
+        self,
+        timed_net: TimedPetriNet,
+        initial: Marking,
+        policy: Optional[ConflictResolutionPolicy] = None,
+        record_arcs: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.simulator = EventDrivenSimulator(
+            timed_net, initial, policy, instrumentation=instrumentation
+        )
+        self._obs: Optional[Instrumentation] = (
+            instrumentation if instrumentation else None
+        )
+        self.record_arcs = record_arcs
+        self._recorder = BehaviorRecorder(timed_net, initial, record_arcs)
+        self._seen: Dict[InstantaneousState, int] = {}
+        self._times: List[int] = []
+        # Per event: the StepRecord plus the policy key *after* the
+        # firing loop — the key every gap tick up to the next event
+        # carries (gap-invariant policies observe nothing new in gaps).
+        self._records: List[Tuple[StepRecord, Tuple]] = []
+
+    @property
+    def graph(self) -> BehaviorGraph:
+        return self._recorder.graph
+
+    def detect(self, max_steps: int) -> CyclicFrustum:
+        """Advance event by event until an instantaneous state repeats;
+        raises :class:`SimulationError` on deadlock or when the next
+        event lies beyond ``max_steps`` (same budget semantics and
+        messages as the step detector)."""
+        sim = self.simulator
+        while True:
+            if not sim._started:
+                if sim.is_deadlocked():
+                    raise SimulationError(
+                        "net deadlocked at time 0 before a cyclic frustum "
+                        "appeared"
+                    )
+                next_time = 0
+            elif not sim._in_flight:
+                # Nothing in flight after an event: the step simulator
+                # would sit at the next tick with nothing enabled
+                # (firing loops leave nothing enabled+idle) and report
+                # deadlock there.
+                if sim.time > max_steps:
+                    raise SimulationError(
+                        "no repeated instantaneous state within "
+                        f"{max_steps} time steps"
+                    )
+                raise SimulationError(
+                    f"net deadlocked at time {sim.time} before a cyclic "
+                    "frustum appeared"
+                )
+            else:
+                next_time = sim._heap[0][0]
+            if next_time > max_steps:
+                raise SimulationError(
+                    f"no repeated instantaneous state within {max_steps} "
+                    "time steps"
+                )
+            record = sim.advance()
+            first = self._seen.get(record.state)
+            if first is not None:
+                return self._finish(first, record)
+            self._seen[record.state] = len(self._records)
+            self._times.append(record.time)
+            self._records.append((record, self.simulator.policy.state_key()))
+            self._recorder.record(record)
+
+    # ------------------------------------------------------------------
+    # Exact reconstruction
+    # ------------------------------------------------------------------
+    def _state_at(self, t: int) -> InstantaneousState:
+        """The instantaneous state at any simulated tick ``t`` (event or
+        gap), reconstructed from the nearest preceding event."""
+        i = bisect.bisect_right(self._times, t) - 1
+        record, post_key = self._records[i]
+        if record.time == t:
+            return record.state
+        # Gap tick: marking/key are the previous event's post-firing
+        # values; residuals are absolute completion times minus t (all
+        # positive — every pending completion is a *later* event).
+        sim = self.simulator
+        marking = record.state.marking
+        if record.fired:
+            deltas: Dict[str, int] = {}
+            for transition in record.fired:
+                for place in sim._inputs[transition]:
+                    deltas[place] = deltas.get(place, 0) - 1
+            marking = marking.with_delta(deltas)
+        residuals: Dict[str, int] = {
+            name: record.time + remaining - t
+            for name, remaining in record.state.residuals
+        }
+        for transition in record.fired:
+            residuals[transition] = (
+                record.time + sim.timed_net.duration(transition) - t
+            )
+        return InstantaneousState.make(marking, residuals, post_key)
+
+    def _finish(self, first_index: int, final: StepRecord) -> CyclicFrustum:
+        e1 = self._times[first_index]
+        period = final.time - e1
+        # Minimal transient: s(t) == s(t+p) holds on a suffix [ρ, ∞) and
+        # can only change value at a breakpoint — an event time or the
+        # tick right after one, on either side of the comparison.
+        breakpoints = {0}
+        for time in self._times:
+            for candidate in (time, time + 1, time - period, time - period + 1):
+                if 0 <= candidate < e1:
+                    breakpoints.add(candidate)
+        rho = e1
+        for b in sorted(breakpoints, reverse=True):
+            if self._state_at(b) == self._state_at(b + period):
+                rho = b
+            else:
+                break
+        repeat = rho + period
+
+        fired_at: Dict[int, Tuple[str, ...]] = {}
+        for record, _key in self._records:
+            if rho <= record.time < repeat and record.fired:
+                fired_at[record.time] = record.fired
+        schedule_steps: List[Tuple[int, Tuple[str, ...]]] = [
+            (t, fired_at.get(t, ())) for t in range(rho, repeat)
+        ]
+        firing_counts: Dict[str, int] = {}
+        for _t, fired in schedule_steps:
+            for transition in fired:
+                firing_counts[transition] = firing_counts.get(transition, 0) + 1
+
+        if self._obs is not None:
+            self._obs.emit(
+                FrustumDetected(
+                    start_time=rho, repeat_time=repeat, period=period
+                )
+            )
+        return CyclicFrustum(
+            start_time=rho,
+            repeat_time=repeat,
+            state=self._state_at(rho),
+            schedule_steps=schedule_steps,
+            firing_counts=firing_counts,
+        )

@@ -11,6 +11,20 @@ which each place becomes an edge from its producer to its consumer,
 labelled with its initial token count; simple cycles of that digraph
 are in bijection with the simple cycles of the net (paper footnote 8/9:
 directed paths where all nodes are distinct except the endpoints).
+
+>>> from repro.petrinet import PetriNet, Marking
+>>> net = PetriNet(name="ring")
+>>> for t in ("a", "b"):
+...     _ = net.add_transition(t)
+>>> for place, (src, dst) in [("p", ("a", "b")), ("q", ("b", "a"))]:
+...     _ = net.add_place(place)
+...     _ = net.add_arc(src, place)
+...     _ = net.add_arc(place, dst)
+>>> view = MarkedGraphView(net, Marking({"p": 1}))
+>>> [cycle.transitions for cycle in view.simple_cycles()]
+[('a', 'b')]
+>>> view.simple_cycles()[0].token_sum(Marking({"p": 1}))
+1
 """
 
 from __future__ import annotations

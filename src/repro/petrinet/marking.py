@@ -4,6 +4,14 @@ A marking is a function ``M : P -> N`` (Appendix A.2).  The class below
 is an immutable mapping with value semantics: two markings compare and
 hash equal iff they assign the same token counts to the same places,
 which is what reachability analysis and frustum detection rely on.
+
+>>> m = Marking({"p": 1, "q": 0})
+>>> m["p"], m["q"], m["unnamed"]
+(1, 0, 0)
+>>> m == Marking({"p": 1})           # zero counts are dropped
+True
+>>> sorted(m.with_delta({"p": -1, "q": 2}).items())
+[('q', 2)]
 """
 
 from __future__ import annotations

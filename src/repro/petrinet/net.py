@@ -11,6 +11,17 @@ Places and transitions are identified by string names, unique within
 their net.  The dot-notation of the paper (``•t`` for input places of a
 transition, ``t•`` for output places, and symmetrically for places) is
 exposed as :meth:`PetriNet.preset` and :meth:`PetriNet.postset`.
+
+>>> net = PetriNet(name="ring")
+>>> _ = net.add_transition("a")
+>>> _ = net.add_transition("b")
+>>> _ = net.add_place("a_to_b")
+>>> _ = net.add_arc("a", "a_to_b")
+>>> _ = net.add_arc("a_to_b", "b")
+>>> net.input_places("b")
+('a_to_b',)
+>>> net.preset("a_to_b"), net.postset("a_to_b")
+(('a',), ('b',))
 """
 
 from __future__ import annotations

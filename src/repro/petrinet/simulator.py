@@ -22,6 +22,26 @@ The simulator advances in unit time steps.  Within the step at time
 Assumption A.6.1 (non-reentrance) is enforced by keeping at most one
 in-flight firing per transition, equivalent to the paper's implicit
 one-token self-loops.
+
+The event-driven alternative — same rule, same snapshots, but jumping
+straight between completion instants — is
+:class:`repro.petrinet.event_sim.EventDrivenSimulator`.
+
+>>> from repro.petrinet import PetriNet, Marking, TimedPetriNet
+>>> net = PetriNet(name="ring")
+>>> for t in ("a", "b"):
+...     _ = net.add_transition(t)
+>>> for place, (src, dst) in [("p", ("a", "b")), ("q", ("b", "a"))]:
+...     _ = net.add_place(place)
+...     _ = net.add_arc(src, place)
+...     _ = net.add_arc(place, dst)
+>>> sim = EarliestFiringSimulator(
+...     TimedPetriNet(net, {"a": 2, "b": 1}), Marking({"p": 1}))
+>>> record = sim.step()          # time 0: p feeds b, which fires
+>>> record.fired
+('b',)
+>>> sim.step().fired             # b needs 1 cycle; a fires at time 1
+('a',)
 """
 
 from __future__ import annotations
@@ -65,7 +85,24 @@ class ConflictResolutionPolicy:
 
     def begin_step(self, time: int, marking: Marking, idle: Sequence[str]) -> None:
         """Observe the post-completion state of the net at ``time``.
-        ``idle`` lists transitions that are not currently in flight."""
+        ``idle`` lists transitions that are not currently in flight.
+
+        **Event-engine contract.**  The event-driven engine
+        (:class:`repro.petrinet.event_sim.EventDrivenSimulator`) only
+        calls this at *event* instants — times when a firing completes
+        or the net starts.  An override must therefore be a no-op on
+        quiet ticks: between events no transition completes and none
+        fires, so the marking and in-flight set it would observe are
+        unchanged from the previous event, and any state it would
+        accumulate from them is already accumulated.  Both shipped
+        policies satisfy this (:class:`FireAllPolicy` and
+        :class:`~repro.machine.policies.StaticPriorityPolicy` do not
+        override it; :class:`~repro.machine.policies.FifoRunPlacePolicy`
+        only reacts to newly data-ready transitions, which appear only
+        at events).  A policy that genuinely depends on wall-clock
+        ``time`` at quiet ticks would break step/event equivalence —
+        don't write one.
+        """
 
     def order(self, candidates: Sequence[str]) -> List[str]:
         """Return the candidates in the order firing should be

@@ -17,6 +17,16 @@ Two standing assumptions of the paper are honoured here:
   simulator enforces the same constraint directly.
 * **A.6.2 (earliest firing rule)** — transitions fire as soon as they
   are enabled; this is what the simulator implements.
+
+>>> from repro.petrinet import PetriNet
+>>> net = PetriNet(name="n")
+>>> _ = net.add_transition("t")
+>>> timed = TimedPetriNet(net, {"t": 3})
+>>> timed.duration("t")
+3
+>>> state = InstantaneousState.make(Marking({"p": 1}), {"t": 2})
+>>> state.residuals              # only in-flight transitions appear
+(('t', 2),)
 """
 
 from __future__ import annotations

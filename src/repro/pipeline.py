@@ -52,6 +52,7 @@ class CompiledLoop:
     behavior: BehaviorGraph
     schedule: PipelinedSchedule
     bounds: TheoreticalBounds
+    engine: str = "event"
     scp: Optional[SdspScpNet] = None
     scp_frustum: Optional[CyclicFrustum] = None
     scp_behavior: Optional[BehaviorGraph] = None
@@ -77,6 +78,7 @@ def compile_loop(
     verify: bool = True,
     verify_iterations: int = 12,
     instrumentation: Optional[Instrumentation] = None,
+    engine: str = "event",
 ) -> CompiledLoop:
     """Compile loop source text through the whole pipeline.
 
@@ -103,6 +105,12 @@ def compile_loop(
         timers plus :class:`~repro.obs.events.PhaseTimer` events) and
         the behavior-graph simulations stream firing/snapshot/frustum
         events to the attached sinks.  Defaults to a no-op.
+    engine:
+        Simulation engine for frustum detection: ``"event"`` (default)
+        jumps between completion instants and does work proportional to
+        firings; ``"step"`` advances one time unit at a time.  Both
+        produce bit-identical frusta and schedules (cross-validated by
+        the test suite); the choice only affects detection cost.
     """
     obs = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
     with obs.phase("parse"):
@@ -114,7 +122,7 @@ def compile_loop(
 
     with obs.phase("detect-frustum"):
         frustum, behavior = detect_frustum(
-            pn.timed, pn.initial, instrumentation=obs
+            pn.timed, pn.initial, instrumentation=obs, engine=engine
         )
     with obs.phase("derive-schedule"):
         schedule = derive_schedule(frustum, behavior)
@@ -134,6 +142,7 @@ def compile_loop(
         behavior=behavior,
         schedule=schedule,
         bounds=theoretical_bounds(pn),
+        engine=engine,
     )
 
     if pipeline_stages is not None:
@@ -144,7 +153,8 @@ def compile_loop(
             )
         with obs.phase("scp-detect-frustum"):
             scp_frustum, scp_behavior = detect_frustum(
-                scp.timed, scp.initial, policy, instrumentation=obs
+                scp.timed, scp.initial, policy, instrumentation=obs,
+                engine=engine,
             )
         with obs.phase("scp-derive-schedule"):
             scp_schedule = derive_schedule(

@@ -321,6 +321,82 @@ class TestDash:
         assert "2 ledger run(s) in trend history" in text
         assert "Cycle time across commits" in output.read_text()
 
+    def test_missing_history_renders_placeholder(self, l2_file, tmp_path):
+        output = tmp_path / "dash.html"
+        status, text = run(
+            ["dash", l2_file, "--abstract", "-o", str(output),
+             "--history", str(tmp_path / "nowhere" / "runs.jsonl")]
+        )
+        assert status == 0
+        assert "0 ledger run(s) in trend history" in text
+        assert "Not enough ledger history" in output.read_text()
+
+    def test_empty_history_renders_placeholder(self, l2_file, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        ledger.write_text("")
+        output = tmp_path / "dash.html"
+        status, text = run(
+            ["dash", l2_file, "--abstract", "-o", str(output),
+             "--history", str(ledger)]
+        )
+        assert status == 0
+        assert "0 ledger run(s) in trend history" in text
+        assert "Not enough ledger history" in output.read_text()
+
+    def test_corrupt_history_degrades_to_placeholder(self, l2_file, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        ledger.write_text("this is not json\n")
+        output = tmp_path / "dash.html"
+        status, text = run(
+            ["dash", l2_file, "--abstract", "-o", str(output),
+             "--history", str(ledger)]
+        )
+        assert status == 0
+        assert "ignoring unreadable ledger history" in text
+        assert "Not enough ledger history" in output.read_text()
+
+
+class TestEngineFlag:
+    def test_engines_print_identical_schedules(self, l2_file):
+        status_e, text_e = run(
+            ["schedule", l2_file, "--abstract", "--engine", "event"]
+        )
+        status_s, text_s = run(
+            ["schedule", l2_file, "--abstract", "--engine", "step"]
+        )
+        assert status_e == status_s == 0
+        assert text_e == text_s
+
+    def test_trace_accepts_engine(self, l2_file, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        status, text = run(
+            ["trace", l2_file, "--abstract", "--format", "jsonl",
+             "--engine", "step", "-o", str(target)]
+        )
+        assert status == 0
+        assert target.exists()
+
+    def test_ledger_records_the_engine(self, l2_file, tmp_path):
+        from repro.obs import load_records
+
+        ledger = tmp_path / "ledger"
+        for engine in ("event", "step"):
+            status, _ = run(
+                ["schedule", l2_file, "--abstract",
+                 "--engine", engine, "--ledger", str(ledger)]
+            )
+            assert status == 0
+        first, second = load_records(ledger / "runs.jsonl")
+        assert first["payload"]["engine"] == "event"
+        assert second["payload"]["engine"] == "step"
+        # engine choice must not change any scheduling fact
+        volatile = {"engine"}
+        assert {
+            k: v for k, v in first["payload"].items() if k not in volatile
+        } == {
+            k: v for k, v in second["payload"].items() if k not in volatile
+        }
+
 
 class TestLedgerFlag:
     def test_schedule_appends_normalized_record(self, l2_file, tmp_path):

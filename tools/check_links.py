@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo Markdown links (the CI docs job).
+
+Scans every tracked ``*.md`` file for inline links and reference
+definitions, resolves relative targets against the linking file, and
+exits non-zero listing any target that does not exist.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+skipped — this gate is about repo-internal rot, not the internet.
+
+Usage: ``python tools/check_links.py [root]`` (root defaults to the
+repository root, i.e. the parent of this file's directory).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+# [text](target) — stop at the first unescaped closing paren; and
+# [ref]: target reference-style definitions at line start.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+# Machine-extracted documents whose links point at assets that were
+# never part of the repo (figure scans from the related-work dump).
+SKIP_FILES = {"PAPERS.md"}
+
+
+def markdown_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if path.name in SKIP_FILES:
+            continue
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def link_targets(text: str):
+    for pattern in (INLINE, REFERENCE):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def check(root: pathlib.Path):
+    broken = []
+    for source in markdown_files(root):
+        for target in link_targets(source.read_text(encoding="utf-8")):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = source.parent / path_part
+            if not resolved.exists():
+                broken.append(
+                    f"{source.relative_to(root)}: broken link -> {target}"
+                )
+    return broken
+
+
+def main() -> int:
+    root = (
+        pathlib.Path(sys.argv[1]).resolve()
+        if len(sys.argv) > 1
+        else pathlib.Path(__file__).resolve().parent.parent
+    )
+    broken = check(root)
+    for line in broken:
+        print(line)
+    if broken:
+        print(f"{len(broken)} broken intra-repo Markdown link(s)")
+        return 1
+    count = sum(1 for _ in markdown_files(root))
+    print(f"OK: no broken intra-repo links in {count} Markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
