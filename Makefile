@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke doctest linkcheck bench bench-check baseline dash clean
+.PHONY: verify test smoke sweep-smoke doctest linkcheck bench bench-check baseline dash clean
 
-verify: test doctest linkcheck smoke
+verify: test doctest linkcheck smoke sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,17 @@ smoke:
 	$(PYTHON) -m repro schedule examples/l2.loop --abstract --profile
 	$(PYTHON) -m repro dash examples/l1.loop -o /tmp/l1.dash.html
 	$(PYTHON) -m repro dash examples/l2.loop --abstract -o /tmp/l2.dash.html
+
+# cold sweep fills the cache, warm sweep must hit 100% and merge to
+# the same bytes — the cache-correctness smoke the CI gate runs twice
+sweep-smoke:
+	rm -rf /tmp/repro-sweep-cache
+	$(PYTHON) -m repro sweep benchmarks/manifests/scaling.json \
+		--cache-dir /tmp/repro-sweep-cache -o /tmp/sweep.cold.json
+	$(PYTHON) -m repro sweep benchmarks/manifests/scaling.json \
+		--cache-dir /tmp/repro-sweep-cache --workers 2 --require-hits \
+		-o /tmp/sweep.warm.json
+	cmp /tmp/sweep.cold.json /tmp/sweep.warm.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -38,4 +49,5 @@ dash:
 
 clean:
 	rm -f /tmp/l1.trace.json /tmp/l2.trace.jsonl /tmp/l1.dash.html /tmp/l2.dash.html
+	rm -rf /tmp/repro-sweep-cache /tmp/sweep.cold.json /tmp/sweep.warm.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

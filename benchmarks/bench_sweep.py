@@ -1,0 +1,156 @@
+"""Batch compilation sweep: the content-addressed cache and the
+process-pool driver, measured on the scaling manifest.
+
+Four configurations run the same eight-item sweep (chain/recurrence
+families at n = 4..32): serial without a cache (the reference), cold
+cache, warm cache, and warm cache fanned out over a worker pool.  The
+payload records only facts all four are asserted to produce
+byte-identically — per-item rate / initiation interval / frustum
+length plus a digest of the full merged payload — so the regression
+gate sees one cache-state- and worker-count-independent truth.
+
+Wall clock per configuration goes into the volatile ``timing`` section
+as ``sweep.<config>`` pseudo-phases.  The acceptance headline is the
+warm-cache speedup: replaying the sweep from cache must be at least
+2x faster than compiling it cold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.conftest import save_artifact, save_json
+from repro.batch import compile_many, load_manifest
+from repro.obs import stable_json
+from repro.report import render_table
+
+MANIFEST = pathlib.Path(__file__).parent / "manifests" / "scaling.json"
+WARM_SPEEDUP_FLOOR = 2.0  # warm cache vs cold compile, same sweep
+
+
+def run_sweep(items, **kwargs):
+    started = time.perf_counter()
+    result = compile_many(items, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def test_sweep_cache_and_workers(benchmark, tmp_path):
+    items = load_manifest(MANIFEST)
+    workers = min(4, os.cpu_count() or 1)
+
+    def configurations():
+        reference, ref_wall = run_sweep(items)
+        cold, cold_wall = run_sweep(items, cache_dir=tmp_path)
+        warm, warm_wall = run_sweep(items, cache_dir=tmp_path)
+        pooled, pooled_wall = run_sweep(
+            items, cache_dir=tmp_path, workers=workers
+        )
+        return (
+            {"reference": reference, "cold": cold,
+             "warm": warm, "pooled": pooled},
+            {"reference": ref_wall, "cold": cold_wall,
+             "warm": warm_wall, "pooled": pooled_wall},
+        )
+
+    benchmark.group = "reports"
+    results, walls = benchmark.pedantic(configurations, rounds=1, iterations=1)
+
+    # One truth: every configuration merges to the same bytes.
+    texts = {
+        name: stable_json(result.merged_payload())
+        for name, result in results.items()
+    }
+    assert len(set(texts.values())) == 1, "sweep results depend on cache/workers"
+    merged = results["reference"].merged_payload()
+    assert merged["n_errors"] == 0
+
+    # Cache accounting: everything misses cold, everything hits warm.
+    assert results["cold"].cache_stats()["miss"] == len(items)
+    assert results["warm"].hit_rate == 1.0
+    assert results["pooled"].hit_rate == 1.0
+
+    rows = [
+        [
+            item.name,
+            str(item.summary().rate),
+            item.summary().schedule.initiation_interval,
+            item.summary().frustum.length,
+        ]
+        for item in results["reference"].items
+    ]
+    save_artifact(
+        "sweep_scaling.txt",
+        render_table(
+            ["item", "rate", "II", "frustum len"],
+            rows,
+            title=(
+                "Batch sweep over the scaling manifest "
+                "(identical cold/warm, serial/pooled)"
+            ),
+        ),
+    )
+
+    digest = hashlib.sha256(texts["reference"].encode("utf-8")).hexdigest()
+    save_json(
+        "sweep_scaling.json",
+        {
+            "bench": "sweep_scaling",
+            "manifest": MANIFEST.name,
+            "n_items": merged["n_items"],
+            "n_errors": merged["n_errors"],
+            "merged_sha256": digest,
+            "items": [
+                {"name": name, "rate": rate, "ii": ii, "frustum_length": length}
+                for name, rate, ii, length in rows
+            ],
+        },
+        phases={
+            f"sweep.{name}": {"count": 1, "total": wall, "mean": wall}
+            for name, wall in walls.items()
+        },
+    )
+
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cold_wall_s"] = round(walls["cold"], 6)
+    benchmark.extra_info["warm_wall_s"] = round(walls["warm"], 6)
+    speedup = walls["cold"] / walls["warm"]
+    benchmark.extra_info["warm_speedup"] = round(speedup, 2)
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm cache only {speedup:.1f}x faster than cold compile "
+        f"(need >= {WARM_SPEEDUP_FLOOR}x) on {len(items)} items"
+    )
+
+
+def test_cache_hit_latency(benchmark, tmp_path):
+    """Per-item replay cost: a warm hit is a JSON read + hash check."""
+    items = load_manifest(MANIFEST)
+    compile_many(items, cache_dir=tmp_path)  # prime
+    benchmark.group = "sweep: warm replay"
+    result = benchmark(lambda: compile_many(items, cache_dir=tmp_path))
+    assert result.hit_rate == 1.0
+    benchmark.extra_info["n_items"] = len(items)
+
+
+def test_manifest_matches_generator():
+    """The committed manifest is exactly what the generator emits —
+    regenerate with ``python tools/gen_scaling_manifest.py`` after
+    editing either side."""
+    from repro.batch import scaling_items
+
+    committed = json.loads(MANIFEST.read_text())
+    generated = {
+        "items": [
+            {
+                "name": item.name,
+                "source": item.source,
+                "include_io": item.include_io,
+                "engine": item.engine,
+            }
+            for item in scaling_items(sizes=(4, 8, 16, 32))
+        ]
+    }
+    assert committed == generated

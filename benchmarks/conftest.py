@@ -38,6 +38,7 @@ from repro.obs import (
     append_record,
     default_registry,
     make_run_record,
+    resolve_env_dir,
     stable_json,
 )
 
@@ -94,13 +95,16 @@ def save_json(name: str, payload: dict, phases: dict = None) -> None:
     print(f"\n===== {name} (telemetry) =====")
     print(text)
 
-    ledger = os.environ.get("REPRO_LEDGER")
-    if ledger:
-        directory = (
-            pathlib.Path(ledger)
-            if ledger not in ("1", "true", "yes")
-            else pathlib.Path(__file__).parent / "ledger"
-        )
+    # REPRO_LEDGER=0/false/no/off (any case) means "off" — it must not
+    # append to a ledger directory literally named "0"; truthy values
+    # select the default directory, anything else is an explicit path
+    # validated up front (repro.obs.resolve_env_dir).
+    directory = resolve_env_dir(
+        os.environ.get("REPRO_LEDGER"),
+        default=pathlib.Path(__file__).parent / "ledger",
+        purpose="ledger",
+    )
+    if directory is not None:
         append_record(directory / RUNS_FILE, record)
 
 

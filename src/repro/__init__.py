@@ -25,8 +25,19 @@ Quickstart::
     print(result.frustum.length)       # steady-state period
 '''
 
-from .pipeline import CompiledLoop, compile_loop
+from .pipeline import (
+    CompiledLoop,
+    CompiledLoopSummary,
+    FrustumSummary,
+    compile_loop,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["CompiledLoop", "compile_loop", "__version__"]
+__all__ = [
+    "CompiledLoop",
+    "CompiledLoopSummary",
+    "FrustumSummary",
+    "compile_loop",
+    "__version__",
+]

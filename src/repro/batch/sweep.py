@@ -1,0 +1,266 @@
+"""``compile_many``: fan a sweep manifest out over a process pool.
+
+Design rules, all of which the test suite pins down:
+
+* **deterministic merge** — results are ordered by manifest index, not
+  completion order, so the merged payload is byte-identical for
+  ``workers=1`` vs ``workers=N`` and for cold vs warm cache;
+* **failure isolation** — an item that raises (parse error,
+  :class:`~repro.errors.ScheduleError`, ...) becomes a structured
+  ``{"type", "message"}`` error record at its manifest position; the
+  rest of the batch is unaffected and no half-written cache entry can
+  result (stores are atomic, and failures are never cached);
+* **volatile vs stable** — cache hit/miss counts are measurement
+  artifacts (they differ between cold and warm runs by definition), so
+  they live in :meth:`SweepResult.cache_stats` and the metrics
+  registry, never inside :meth:`SweepResult.merged_payload`.
+
+Workers are plain module-level functions over plain data
+(:class:`~repro.batch.manifest.SweepItem`), so the pool works under
+both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+from ..obs.metrics import MetricsRegistry, default_registry
+from .cache import CompileCache, cache_key
+from .manifest import SweepItem
+
+__all__ = ["SweepItemResult", "SweepResult", "compile_many"]
+
+_CACHE_OUTCOMES = ("hit", "miss", "corrupt", "store")
+
+
+@dataclass
+class SweepItemResult:
+    """One manifest item's outcome, at its manifest position."""
+
+    index: int
+    name: str
+    status: str  # "ok" | "error"
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, str]] = None
+    cache_hit: bool = False
+    cache_stats: Optional[Dict[str, int]] = None
+    key: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def summary(self):
+        """Rehydrate the full :class:`repro.pipeline.CompiledLoopSummary`
+        (``None`` for error items)."""
+        if self.payload is None:
+            return None
+        from ..pipeline import CompiledLoopSummary
+
+        return CompiledLoopSummary.from_payload(self.payload)
+
+    def record(self) -> Dict[str, Any]:
+        """The deterministic per-item entry of the merged payload —
+        deliberately free of cache/worker information."""
+        entry: Dict[str, Any] = {"name": self.name, "status": self.status}
+        if self.error is not None:
+            entry["error"] = dict(self.error)
+        else:
+            entry["payload"] = self.payload
+        return entry
+
+
+@dataclass
+class SweepResult:
+    """Everything one :func:`compile_many` call produced."""
+
+    items: List[SweepItemResult]
+    workers: int
+    cache_dir: Optional[str] = None
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for item in self.items if not item.ok)
+
+    @property
+    def errors(self) -> List[SweepItemResult]:
+        return [item for item in self.items if not item.ok]
+
+    def merged_payload(self) -> Dict[str, Any]:
+        """The stable merged record: manifest order, no volatile data.
+
+        Byte-identical (under :func:`repro.obs.stable_json`) across
+        worker counts and cache states — the acceptance property of the
+        batch subsystem.
+        """
+        return {
+            "n_items": self.n_items,
+            "n_errors": self.n_errors,
+            "items": [item.record() for item in self.items],
+        }
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Aggregated cache counters over every item (volatile —
+        reported through ``timing.metrics`` in ledger records)."""
+        totals = {outcome: 0 for outcome in _CACHE_OUTCOMES}
+        totals["items"] = self.n_items
+        totals["errors"] = self.n_errors
+        for item in self.items:
+            for outcome, count in (item.cache_stats or {}).items():
+                totals[outcome] = totals.get(outcome, 0) + count
+        return totals
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over items (0.0 when the cache was off)."""
+        if not self.items:
+            return 0.0
+        return sum(1 for item in self.items if item.cache_hit) / len(self.items)
+
+
+def _compile_item(
+    task: Tuple[int, SweepItem, Optional[str]]
+) -> Dict[str, Any]:
+    """Worker: compile (or rehydrate) one item.  Never raises for
+    per-item failures — those become structured error dicts — so one
+    bad loop cannot kill the batch."""
+    index, item, cache_dir = task
+    registry = MetricsRegistry()  # process-local; merged by the parent
+    cache = (
+        CompileCache(cache_dir, registry=registry)
+        if cache_dir is not None
+        else None
+    )
+    key = cache_key(
+        item.source,
+        scalars=item.scalars,
+        pipeline_stages=item.pipeline_stages,
+        include_io=item.include_io,
+        engine=item.engine,
+    )
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, str]] = None
+    cache_hit = False
+    if cache is not None:
+        payload = cache.load(key)
+        cache_hit = payload is not None
+    if payload is None:
+        from ..pipeline import compile_loop
+
+        try:
+            compiled = compile_loop(
+                item.source,
+                scalars=item.scalars,
+                pipeline_stages=item.pipeline_stages,
+                include_io=item.include_io,
+                engine=item.engine,
+            )
+        except Exception as exc:  # noqa: BLE001 — isolate *any* failure
+            error = {"type": type(exc).__name__, "message": str(exc)}
+        else:
+            payload = compiled.summary().payload()
+            if cache is not None:
+                cache.store(key, payload)
+    stats = {
+        outcome: registry.counter(f"batch.cache.{outcome}").value
+        for outcome in _CACHE_OUTCOMES
+    }
+    return {
+        "index": index,
+        "name": item.name,
+        "status": "error" if error is not None else "ok",
+        "payload": payload,
+        "error": error,
+        "cache_hit": cache_hit,
+        "cache_stats": stats,
+        "key": key,
+    }
+
+
+def _as_item(entry: Union[SweepItem, Mapping[str, Any]], index: int) -> SweepItem:
+    if isinstance(entry, SweepItem):
+        return entry
+    return SweepItem.from_mapping(entry, index=index)
+
+
+def compile_many(
+    items: Sequence[Union[SweepItem, Mapping[str, Any]]],
+    workers: int = 1,
+    cache: Optional[CompileCache] = None,
+    cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> SweepResult:
+    """Compile every manifest item, optionally in parallel and through
+    the compile cache.
+
+    Parameters
+    ----------
+    items:
+        :class:`SweepItem` s or plain mappings (validated on entry).
+    workers:
+        ``1`` (default) compiles serially in-process; ``N > 1`` fans
+        out over a ``ProcessPoolExecutor`` with ``N`` processes.
+        Results are merged in manifest order either way.
+    cache / cache_dir:
+        An existing :class:`CompileCache`, or a directory to open one
+        in.  Omit both to compile everything from scratch.
+    registry:
+        Metrics registry for the aggregated ``batch.cache.*`` /
+        ``batch.sweep.*`` counters (default: the process-wide one).
+    """
+    if workers < 1:
+        raise ReproError(f"sweep needs >= 1 worker, got {workers}")
+    if cache is not None and cache_dir is not None:
+        raise ReproError("pass either `cache` or `cache_dir`, not both")
+    directory = (
+        str(cache.directory)
+        if cache is not None
+        else (str(cache_dir) if cache_dir is not None else None)
+    )
+    sweep_items = [_as_item(entry, index) for index, entry in enumerate(items)]
+    tasks = [
+        (index, item, directory) for index, item in enumerate(sweep_items)
+    ]
+
+    if workers == 1 or len(tasks) <= 1:
+        raw = [_compile_item(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(_compile_item, tasks))
+
+    raw.sort(key=lambda result: result["index"])  # manifest order, always
+    results = [
+        SweepItemResult(
+            index=entry["index"],
+            name=entry["name"],
+            status=entry["status"],
+            payload=entry["payload"],
+            error=entry["error"],
+            cache_hit=entry["cache_hit"],
+            cache_stats=entry["cache_stats"],
+            key=entry["key"],
+        )
+        for entry in raw
+    ]
+    result = SweepResult(
+        items=results, workers=workers, cache_dir=directory
+    )
+
+    target_registry = registry if registry is not None else default_registry()
+    stats = result.cache_stats()
+    for outcome in _CACHE_OUTCOMES:
+        if stats.get(outcome):
+            target_registry.counter(f"batch.cache.{outcome}").inc(
+                stats[outcome]
+            )
+    target_registry.counter("batch.sweep.items").inc(result.n_items)
+    target_registry.counter("batch.sweep.errors").inc(result.n_errors)
+    return result

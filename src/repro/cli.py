@@ -16,6 +16,10 @@ Commands
 ``dash``      write the self-contained HTML bottleneck-attribution
               dashboard (kernel timeline, slack/utilization, token
               occupancy, ledger trends);
+``sweep``     batch-compile a JSON manifest of loops through the
+              content-addressed compile cache, optionally over a
+              process pool (``--workers N``), and merge the
+              deterministic payloads in manifest order;
 ``bench-check``  compare ``benchmarks/results/*.json`` against the
               committed baseline and exit non-zero on regressions.
 
@@ -178,6 +182,67 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "JSONL ledger to read trend history from "
             "(default: benchmarks/ledger/runs.jsonl when present)"
+        ),
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="batch-compile a manifest via the compile cache",
+    )
+    sweep.add_argument(
+        "manifest",
+        help="JSON sweep manifest (a list of items, or {'items': [...]})",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool width (1 = serial, in-process)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "compile-cache directory (default: the REPRO_CACHE "
+            "environment toggle; unset/falsy means no cache)"
+        ),
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compile everything from scratch, ignoring REPRO_CACHE",
+    )
+    sweep.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the merged deterministic payload as indented JSON",
+    )
+    sweep.add_argument(
+        "--require-hits",
+        action="store_true",
+        help=(
+            "exit non-zero unless every item was served from the cache "
+            "(CI's warm-cache invariant)"
+        ),
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-clock table after the output",
+    )
+    sweep.add_argument(
+        "--ledger",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="DIR",
+        help=(
+            "append a 'sweep' run record (merged payload + cache "
+            "hit/miss counters) to the JSONL run ledger"
         ),
     )
 
@@ -515,6 +580,131 @@ def _cmd_dash(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    """Batch-compile a manifest; merge results in manifest order."""
+    import pathlib
+    import time
+
+    from .batch import compile_many, load_manifest, resolve_cache_dir
+    from .obs import stable_json
+    from .report import render_table
+
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = pathlib.Path(args.cache_dir)
+    else:
+        cache_dir = resolve_cache_dir()  # REPRO_CACHE, shared parser
+
+    items = load_manifest(args.manifest)
+    started = time.perf_counter()
+    result = compile_many(items, workers=args.workers, cache_dir=cache_dir)
+    wall = time.perf_counter() - started
+
+    rows = []
+    for item in result.items:
+        if item.ok:
+            payload = item.payload
+            rows.append(
+                [
+                    item.name,
+                    "hit" if item.cache_hit else "ok",
+                    payload["rate"],
+                    payload["initiation_interval"],
+                    payload["frustum"]["length"],
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    item.name,
+                    "ERROR",
+                    item.error["type"],
+                    "-",
+                    item.error["message"][:40],
+                ]
+            )
+    print(
+        render_table(
+            ["item", "status", "rate", "II", "frustum len"],
+            rows,
+            title=f"Sweep of {args.manifest} ({args.workers} worker(s))",
+        ),
+        file=out,
+    )
+    stats = result.cache_stats()
+    cache_note = (
+        f"cache {cache_dir}: {stats['hit']} hit(s), {stats['miss']} "
+        f"miss(es), {stats['corrupt']} corrupt"
+        if cache_dir is not None
+        else "cache off"
+    )
+    print(
+        f"\n{result.n_items} item(s), {result.n_errors} error(s); "
+        f"{cache_note}; {wall:.3f}s end to end",
+        file=out,
+    )
+
+    merged = result.merged_payload()
+    if args.output is not None:
+        pathlib.Path(args.output).write_text(
+            stable_json(merged, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote merged payload to {args.output}", file=out)
+
+    if args.ledger is not None:
+        path = _append_sweep_record(args, merged, stats, wall)
+        print(f"appended sweep record to {path}", file=out)
+
+    if args.require_hits and result.hit_rate < 1.0:
+        misses = [i.name for i in result.items if not i.cache_hit]
+        print(
+            f"error: --require-hits: {len(misses)} item(s) were not "
+            f"served from the cache: {', '.join(misses)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if result.n_errors else 0
+
+
+def _append_sweep_record(
+    args: argparse.Namespace, merged, cache_stats, wall: float
+):
+    """Append the ``sweep`` run record: the deterministic merged
+    payload, with cache counters and wall clock quarantined in the
+    volatile ``timing`` section."""
+    import pathlib
+
+    from .obs import default_registry
+    from .obs.ledger import (
+        RUNS_FILE,
+        append_record,
+        default_ledger_dir,
+        make_run_record,
+    )
+
+    directory = (
+        default_ledger_dir()
+        if args.ledger == "auto"
+        else pathlib.Path(args.ledger)
+    )
+    snapshot = default_registry().dump()
+    record = make_run_record(
+        kind="sweep",
+        name=f"sweep:{pathlib.Path(args.manifest).stem}",
+        payload=merged,
+        command=sys.argv[1:],
+        phase_wall_clock={
+            **snapshot["timers"],
+            "sweep.total": {"count": 1, "total": wall, "mean": wall},
+        },
+        metrics={**snapshot["counters"], "cache": dict(cache_stats)},
+    )
+    return append_record(directory / RUNS_FILE, record)
+
+
 def _cmd_bench_check(args: argparse.Namespace, out) -> int:
     """The benchmark regression gate (CI's perf check)."""
     import pathlib
@@ -632,6 +822,7 @@ _COMMANDS = {
     "dot": _cmd_dot,
     "trace": _cmd_trace,
     "dash": _cmd_dash,
+    "sweep": _cmd_sweep,
     "bench-check": _cmd_bench_check,
 }
 

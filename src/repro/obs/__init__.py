@@ -65,6 +65,7 @@ from .ledger import (
     latest_by_name,
     load_records,
     make_run_record,
+    resolve_env_dir,
 )
 from .regression import (
     Difference,
@@ -115,6 +116,7 @@ __all__ = [
     "latest_by_name",
     "load_records",
     "make_run_record",
+    "resolve_env_dir",
     "Difference",
     "GateReport",
     "compare_records",

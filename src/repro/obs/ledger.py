@@ -23,6 +23,7 @@ never be silently misread as a regression.
 from __future__ import annotations
 
 import datetime
+import os
 import pathlib
 import platform
 import subprocess
@@ -40,6 +41,9 @@ from .schema import (
 __all__ = [
     "RUNS_FILE",
     "BASELINE_FILE",
+    "FALSY_ENV_VALUES",
+    "TRUTHY_ENV_VALUES",
+    "resolve_env_dir",
     "default_ledger_dir",
     "git_sha",
     "environment_info",
@@ -60,6 +64,57 @@ def default_ledger_dir(root: Optional[_PathLike] = None) -> pathlib.Path:
     the CLI and the benchmark harness keep their shared history."""
     base = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
     return base / "benchmarks" / "ledger"
+
+
+#: Environment values meaning "feature off".  An unset variable and the
+#: empty string count as off too — ``REPRO_LEDGER=0`` must never append
+#: to a ledger directory literally named ``0``.
+FALSY_ENV_VALUES = frozenset({"", "0", "false", "no", "off"})
+
+#: Environment values meaning "feature on, use the default directory".
+TRUTHY_ENV_VALUES = frozenset({"1", "true", "yes", "on"})
+
+
+def resolve_env_dir(
+    value: Optional[str],
+    default: _PathLike,
+    purpose: str = "ledger",
+) -> Optional[pathlib.Path]:
+    """Parse an opt-in directory toggle (``REPRO_LEDGER``, ``REPRO_CACHE``).
+
+    Three outcomes, matched case-insensitively:
+
+    * off (``None``/empty/``0``/``false``/``no``/``off``) → ``None``;
+    * on with the default directory (``1``/``true``/``yes``/``on``) →
+      ``default`` as a :class:`pathlib.Path`;
+    * anything else is an explicit directory path — it is created (with
+      parents) and checked for writability up front, so a typo'd or
+      read-only path fails loudly instead of silently dropping records.
+
+    Raises :class:`~repro.errors.LedgerError` for an unusable explicit
+    path.
+    """
+    if value is None:
+        return None
+    text = value.strip()
+    lowered = text.lower()
+    if lowered in FALSY_ENV_VALUES:
+        return None
+    if lowered in TRUTHY_ENV_VALUES:
+        return pathlib.Path(default)
+    explicit = pathlib.Path(text)
+    try:
+        explicit.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        raise LedgerError(
+            f"cannot use {text!r} as the {purpose} directory: {error}"
+        ) from error
+    if not explicit.is_dir() or not os.access(explicit, os.W_OK):
+        raise LedgerError(
+            f"cannot use {text!r} as the {purpose} directory: not a "
+            "writable directory"
+        )
+    return explicit
 
 
 def git_sha(cwd: Optional[_PathLike] = None) -> str:

@@ -62,8 +62,11 @@ SCHEMA_VERSION = 1
 #: Fixed float precision for everything the ledger serialises.
 FLOAT_DECIMALS = 9
 
-#: Legal values of a record's ``kind`` field.
-RECORD_KINDS = ("bench", "cli")
+#: Legal values of a record's ``kind`` field.  ``"sweep"`` records are
+#: appended by ``repro sweep`` / :func:`repro.batch.compile_many` and
+#: carry the deterministic merged batch payload plus (volatile) cache
+#: hit/miss counters in their ``timing.metrics`` section.
+RECORD_KINDS = ("bench", "cli", "sweep")
 
 #: Top-level sections the regression gate treats as volatile: allowed
 #: to drift between runs (within tolerance for ``timing``; freely for

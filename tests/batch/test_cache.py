@@ -1,0 +1,170 @@
+"""The content-addressed compile cache: keys, atomic stores, verified
+loads, corruption handling, and the shared REPRO_CACHE env parser."""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    CACHE_SCHEMA_VERSION,
+    CompileCache,
+    cache_key,
+    default_cache_dir,
+    resolve_cache_dir,
+)
+from repro.errors import LedgerError
+from repro.obs import stable_json
+from repro.obs.metrics import MetricsRegistry
+
+PAYLOAD = {"loop": "tiny", "rate": "1/2", "nested": {"a": 1, "b": [1, 2]}}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CompileCache(tmp_path / "cache", registry=MetricsRegistry())
+
+
+def counters(cache):
+    return {
+        name: cache.registry.counter(f"batch.cache.{name}").value
+        for name in ("hit", "miss", "corrupt", "store")
+    }
+
+
+class TestCacheKey:
+    def test_pure_function_of_inputs(self):
+        assert cache_key("do a:\n  X[i] = X[i-1]") == cache_key(
+            "do a:\n  X[i] = X[i-1]"
+        )
+
+    def test_every_input_is_part_of_the_address(self):
+        base = cache_key("src", {"k": 1.0}, 8, True, "event")
+        assert base != cache_key("src2", {"k": 1.0}, 8, True, "event")
+        assert base != cache_key("src", {"k": 2.0}, 8, True, "event")
+        assert base != cache_key("src", {"k": 1.0}, 4, True, "event")
+        assert base != cache_key("src", {"k": 1.0}, 8, False, "event")
+        assert base != cache_key("src", {"k": 1.0}, 8, True, "step")
+
+    def test_scalar_order_is_canonical(self):
+        assert cache_key("s", {"a": 1.0, "b": 2.0}) == cache_key(
+            "s", {"b": 2.0, "a": 1.0}
+        )
+
+    def test_no_scalars_equals_empty_scalars(self):
+        assert cache_key("s", None) == cache_key("s", {})
+
+
+class TestStoreLoad:
+    def test_round_trip(self, cache):
+        key = cache_key("src")
+        assert cache.load(key) is None  # cold miss
+        cache.store(key, PAYLOAD)
+        assert key in cache
+        loaded = cache.load(key)
+        assert stable_json(loaded) == stable_json(PAYLOAD)
+        assert counters(cache) == {
+            "hit": 1, "miss": 1, "corrupt": 0, "store": 1,
+        }
+
+    def test_store_leaves_no_temp_files(self, cache):
+        key = cache_key("src")
+        cache.store(key, PAYLOAD)
+        leftovers = [
+            p for p in cache.directory.iterdir() if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+        assert len(cache) == 1
+
+    def test_entry_file_embeds_schema_key_and_hash(self, cache):
+        key = cache_key("src")
+        path = cache.store(key, PAYLOAD)
+        entry = json.loads(path.read_text())
+        assert entry["cache_schema"] == CACHE_SCHEMA_VERSION
+        assert entry["key"] == key
+        assert set(entry) == {
+            "cache_schema", "key", "payload", "payload_sha256",
+        }
+
+
+class TestCorruption:
+    def corrupt_and_load(self, cache, mutate):
+        key = cache_key("src")
+        path = cache.store(key, PAYLOAD)
+        mutate(path)
+        return key, cache.load(key)
+
+    def test_truncated_entry_is_a_counted_miss(self, cache):
+        key, loaded = self.corrupt_and_load(
+            cache, lambda p: p.write_text(p.read_text()[: len(p.read_text()) // 2])
+        )
+        assert loaded is None
+        assert cache.registry.counter("batch.cache.corrupt").value == 1
+        # the corrupt file was removed so the next store heals the slot
+        assert key not in cache
+
+    def test_payload_tamper_fails_the_hash_check(self, cache):
+        def flip(path):
+            entry = json.loads(path.read_text())
+            entry["payload"]["rate"] = "2/3"
+            path.write_text(json.dumps(entry))
+
+        _, loaded = self.corrupt_and_load(cache, flip)
+        assert loaded is None
+
+    def test_wrong_key_in_entry_is_rejected(self, cache):
+        def rekey(path):
+            entry = json.loads(path.read_text())
+            entry["key"] = "0" * 64
+            path.write_text(json.dumps(entry))
+
+        _, loaded = self.corrupt_and_load(cache, rekey)
+        assert loaded is None
+
+    def test_future_schema_version_is_not_trusted(self, cache):
+        def bump(path):
+            entry = json.loads(path.read_text())
+            entry["cache_schema"] = CACHE_SCHEMA_VERSION + 1
+            path.write_text(json.dumps(entry))
+
+        _, loaded = self.corrupt_and_load(cache, bump)
+        assert loaded is None
+
+
+class TestResolveCacheDir:
+    """REPRO_CACHE shares the ledger's env parser — same falsy/truthy
+    vocabulary, same explicit-path validation."""
+
+    @pytest.mark.parametrize(
+        "value", [None, "", "0", "false", "no", "off", "FALSE", " No "]
+    )
+    def test_falsy_means_off(self, value):
+        assert resolve_cache_dir(value) is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "TRUE"])
+    def test_truthy_selects_the_default_dir(self, value, tmp_path):
+        assert resolve_cache_dir(value, root=tmp_path) == default_cache_dir(
+            tmp_path
+        )
+
+    def test_explicit_path_is_created_and_used(self, tmp_path):
+        target = tmp_path / "deep" / "cache"
+        assert resolve_cache_dir(str(target)) == target
+        assert target.is_dir()
+
+    def test_unwritable_explicit_path_errors(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        with pytest.raises(LedgerError):
+            resolve_cache_dir(str(blocker / "cache"))
+
+
+class TestPickling:
+    def test_cache_survives_pickling_without_its_registry(self, tmp_path):
+        import pickle
+
+        original = CompileCache(tmp_path, registry=MetricsRegistry())
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.directory == original.directory
+        key = cache_key("src")
+        clone.store(key, PAYLOAD)
+        assert stable_json(clone.load(key)) == stable_json(PAYLOAD)

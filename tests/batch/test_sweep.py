@@ -1,0 +1,192 @@
+"""``compile_many`` and the sweep manifest layer: deterministic merge,
+failure isolation, cache accounting, manifest validation."""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    CompileCache,
+    SweepItem,
+    compile_many,
+    load_manifest,
+    scaling_items,
+)
+from repro.errors import ReproError
+from repro.obs import stable_json
+from repro.obs.metrics import MetricsRegistry
+
+GOOD = SweepItem(
+    name="good",
+    source="do good:\n  A[i] = A[i-1] + IN[i]",
+    include_io=False,
+)
+GOOD2 = SweepItem(
+    name="good2",
+    source="do good2:\n  B[i] = B[i-1] + IN[i]\n  C[i] = B[i] + IN[i]",
+    include_io=False,
+)
+BAD_PARSE = SweepItem(name="bad-parse", source="this is not a loop")
+
+
+class TestMerge:
+    def test_results_follow_manifest_order(self):
+        result = compile_many([GOOD2, BAD_PARSE, GOOD])
+        assert [item.name for item in result.items] == [
+            "good2", "bad-parse", "good",
+        ]
+        assert [item.index for item in result.items] == [0, 1, 2]
+
+    def test_one_vs_many_workers_merge_identically(self):
+        items = scaling_items(sizes=(4, 8))
+        serial = compile_many(items, workers=1)
+        parallel = compile_many(items, workers=3)
+        assert stable_json(serial.merged_payload()) == stable_json(
+            parallel.merged_payload()
+        )
+
+    def test_cold_vs_warm_cache_merge_identically(self, tmp_path):
+        items = scaling_items(sizes=(4,))
+        cold = compile_many(items, cache_dir=tmp_path)
+        warm = compile_many(items, cache_dir=tmp_path)
+        assert warm.hit_rate == 1.0
+        assert stable_json(cold.merged_payload()) == stable_json(
+            warm.merged_payload()
+        )
+
+    def test_merged_payload_carries_no_cache_or_worker_state(self, tmp_path):
+        result = compile_many([GOOD], cache_dir=tmp_path)
+        text = stable_json(result.merged_payload())
+        assert "cache" not in text
+        assert "hit" not in text
+        assert "worker" not in text
+
+
+class TestFailureIsolation:
+    def test_error_lands_at_its_manifest_position(self):
+        result = compile_many([GOOD, BAD_PARSE, GOOD2], workers=2)
+        assert [item.status for item in result.items] == [
+            "ok", "error", "ok",
+        ]
+        failed = result.items[1]
+        assert failed.error["type"] == "LoopIRError"
+        assert failed.payload is None
+        assert result.n_errors == 1
+
+    def test_error_messages_are_stable_across_worker_counts(self):
+        serial = compile_many([BAD_PARSE, GOOD])
+        parallel = compile_many([BAD_PARSE, GOOD], workers=2)
+        assert (
+            serial.items[0].error == parallel.items[0].error
+        )
+        assert stable_json(serial.merged_payload()) == stable_json(
+            parallel.merged_payload()
+        )
+
+    def test_failures_are_never_cached(self, tmp_path):
+        cache = CompileCache(tmp_path, registry=MetricsRegistry())
+        compile_many([BAD_PARSE], cache=cache)
+        assert len(cache) == 0
+        rerun = compile_many([BAD_PARSE], cache=cache)
+        assert rerun.items[0].cache_hit is False
+
+    def test_no_temp_files_survive_a_sweep(self, tmp_path):
+        compile_many([GOOD, BAD_PARSE], cache_dir=tmp_path, workers=2)
+        assert [p for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+
+class TestCacheAccounting:
+    def test_counters_reach_the_given_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        compile_many([GOOD, GOOD2], cache_dir=tmp_path, registry=registry)
+        assert registry.counter("batch.cache.miss").value == 2
+        assert registry.counter("batch.cache.store").value == 2
+        assert registry.counter("batch.sweep.items").value == 2
+        compile_many([GOOD, GOOD2], cache_dir=tmp_path, registry=registry)
+        assert registry.counter("batch.cache.hit").value == 2
+
+    def test_cache_stats_aggregate(self, tmp_path):
+        cold = compile_many([GOOD, GOOD2], cache_dir=tmp_path)
+        stats = cold.cache_stats()
+        assert stats["miss"] == 2 and stats["store"] == 2
+        warm = compile_many([GOOD, GOOD2], cache_dir=tmp_path)
+        assert warm.cache_stats()["hit"] == 2
+        assert warm.hit_rate == 1.0
+
+    def test_summary_rehydrates_from_item_payload(self):
+        result = compile_many([GOOD])
+        summary = result.items[0].summary()
+        assert summary.loop == "good"
+        assert str(summary.rate) == "1"
+        assert summary.schedule.initiation_interval >= 1
+
+
+class TestArguments:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ReproError):
+            compile_many([GOOD], workers=0)
+
+    def test_cache_and_cache_dir_are_exclusive(self, tmp_path):
+        with pytest.raises(ReproError):
+            compile_many(
+                [GOOD],
+                cache=CompileCache(tmp_path),
+                cache_dir=tmp_path,
+            )
+
+    def test_plain_mappings_are_accepted(self):
+        result = compile_many(
+            [{"name": "m", "source": GOOD.source, "include_io": False}]
+        )
+        assert result.items[0].ok
+
+
+class TestManifest:
+    def write(self, tmp_path, data):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_bare_list_and_items_wrapper_both_load(self, tmp_path):
+        entry = {"name": "a", "source": GOOD.source, "include_io": False}
+        for data in ([entry], {"items": [entry]}):
+            items = load_manifest(self.write(tmp_path, data))
+            assert items[0].name == "a"
+            assert items[0].include_io is False
+
+    def test_file_refs_resolve_relative_to_the_manifest(self, tmp_path):
+        (tmp_path / "body.loop").write_text(GOOD.source)
+        items = load_manifest(
+            self.write(tmp_path, [{"name": "a", "file": "body.loop"}])
+        )
+        assert items[0].source == GOOD.source
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        entry = {"name": "dup", "source": GOOD.source}
+        with pytest.raises(ReproError, match="duplicate"):
+            load_manifest(self.write(tmp_path, [entry, dict(entry)]))
+
+    def test_source_and_file_are_exclusive_and_required(self, tmp_path):
+        with pytest.raises(ReproError, match="'source' or 'file'"):
+            load_manifest(self.write(tmp_path, [{"name": "x"}]))
+        with pytest.raises(ReproError, match="'source' or 'file'"):
+            load_manifest(
+                self.write(
+                    tmp_path,
+                    [{"name": "x", "source": "s", "file": "f"}],
+                )
+            )
+
+    def test_bad_engine_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="engine"):
+            load_manifest(
+                self.write(
+                    tmp_path,
+                    [{"name": "x", "source": "s", "engine": "warp"}],
+                )
+            )
+
+    def test_scaling_items_are_deterministic(self):
+        assert scaling_items(sizes=(4, 8)) == scaling_items(sizes=(4, 8))
+        names = [item.name for item in scaling_items(sizes=(4, 8))]
+        assert names == ["chain-4", "chain-8", "recurrence-4", "recurrence-8"]

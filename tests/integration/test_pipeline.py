@@ -87,3 +87,64 @@ class TestCompileLoop:
         machine = ScpMachine(result.pn, stages=4)
         run = machine.run_schedule(result.scp_schedule, iterations=10)
         assert run.issues == 10 * 5
+
+
+class TestRateComputedOnce:
+    """compile_loop runs the rate analysis (Howard + enumeration +
+    Lawler cross-check) exactly once and caches the Fraction on the
+    result — `optimal_rate` property accesses must not recompute."""
+
+    def test_one_rate_phase_per_compilation(self):
+        from repro.obs import default_registry
+
+        registry = default_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            result = compile_loop(L2_SOURCE, include_io=False)
+            # repeated property access must be free
+            for _ in range(5):
+                assert result.optimal_rate == Fraction(1, 3)
+            timers = registry.dump()["timers"]
+            assert timers["core.optimal_rate"]["count"] == 1
+        finally:
+            registry.disable()
+            registry.reset()
+
+    def test_rate_field_is_populated_and_exact(self):
+        result = compile_loop(L1_SOURCE, include_io=False)
+        assert result.rate == Fraction(1, 2)
+        assert result.optimal_rate is result.rate
+
+    def test_property_falls_back_for_hand_built_instances(self):
+        result = compile_loop(L2_SOURCE, include_io=False)
+        rebuilt = CompiledLoop(
+            translation=result.translation,
+            pn=result.pn,
+            frustum=result.frustum,
+            behavior=result.behavior,
+            schedule=result.schedule,
+            bounds=result.bounds,
+        )
+        assert rebuilt.rate is None
+        assert rebuilt.optimal_rate == Fraction(1, 3)  # lazily computed
+        assert rebuilt.rate == Fraction(1, 3)  # ... and now cached
+
+
+class TestSummary:
+    def test_summary_matches_the_compiled_artifacts(self):
+        result = compile_loop(L2_SOURCE, include_io=False)
+        summary = result.summary()
+        assert summary.loop == "L2"
+        assert summary.rate == result.optimal_rate
+        assert summary.cycle_time == 3
+        assert summary.schedule is result.schedule
+        assert summary.frustum.length == result.frustum.length
+        assert summary.pipeline_stages is None
+
+    def test_summary_records_scp_artifacts(self):
+        result = compile_loop(L1_SOURCE, include_io=False, pipeline_stages=8)
+        summary = result.summary()
+        assert summary.pipeline_stages == 8
+        assert summary.scp_utilization == result.scp_utilization
+        assert summary.scp_schedule is result.scp_schedule

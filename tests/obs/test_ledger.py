@@ -12,6 +12,7 @@ from repro.obs import (
     latest_by_name,
     load_records,
     make_run_record,
+    resolve_env_dir,
     stable_json,
     validate_record,
 )
@@ -109,3 +110,39 @@ class TestStore:
         with pytest.raises(LedgerError):
             append_record(path, {"kind": "bench"})
         assert not path.exists()
+
+
+class TestResolveEnvDir:
+    """The REPRO_LEDGER / REPRO_CACHE toggle vocabulary: falsy spellings
+    disable, truthy spellings select the default, anything else is an
+    explicit directory that must be creatable and writable."""
+
+    @pytest.mark.parametrize(
+        "value", [None, "", "0", "false", "no", "off", "False", "OFF", " no "]
+    )
+    def test_falsy_values_disable(self, value, tmp_path):
+        assert resolve_env_dir(value, default=tmp_path / "d") is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "YES", " On "])
+    def test_truthy_values_select_the_default(self, value, tmp_path):
+        default = tmp_path / "ledger"
+        assert resolve_env_dir(value, default=default) == default
+
+    def test_explicit_path_is_created(self, tmp_path):
+        target = tmp_path / "a" / "b"
+        assert resolve_env_dir(str(target), default=tmp_path) == target
+        assert target.is_dir()
+
+    def test_unwritable_explicit_path_raises_ledger_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(LedgerError, match="ledger"):
+            resolve_env_dir(str(blocker / "sub"), default=tmp_path)
+
+    def test_purpose_names_the_failing_toggle(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(LedgerError, match="cache"):
+            resolve_env_dir(
+                str(blocker / "sub"), default=tmp_path, purpose="cache"
+            )

@@ -446,6 +446,150 @@ class TestLedgerFlag:
         assert "appended run record" not in text
 
 
+class TestSweep:
+    @pytest.fixture
+    def manifest(self, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "items": [
+                        {
+                            "name": "l1",
+                            "source": L1_SOURCE,
+                            "include_io": False,
+                        },
+                        {
+                            "name": "l2",
+                            "source": L2_SOURCE,
+                            "include_io": False,
+                        },
+                    ]
+                }
+            )
+        )
+        return str(path)
+
+    def test_sweep_compiles_and_reports(self, manifest):
+        status, text = run(["sweep", manifest, "--no-cache"])
+        assert status == 0
+        assert "l1" in text and "l2" in text
+        assert "2 item(s), 0 error(s)" in text
+        assert "cache off" in text
+
+    def test_output_identical_across_workers_and_cache_state(
+        self, manifest, tmp_path
+    ):
+        cache = tmp_path / "cache"
+        outputs = []
+        for index, argv in enumerate(
+            [
+                ["sweep", manifest, "--no-cache", "--workers", "1"],
+                ["sweep", manifest, "--cache-dir", str(cache)],
+                ["sweep", manifest, "--cache-dir", str(cache)],
+                ["sweep", manifest, "--no-cache", "--workers", "2"],
+            ]
+        ):
+            out = tmp_path / f"merged-{index}.json"
+            status, _ = run(argv + ["-o", str(out)])
+            assert status == 0
+            outputs.append(out.read_bytes())
+        assert len(set(outputs)) == 1
+
+    def test_require_hits_fails_cold_passes_warm(self, manifest, tmp_path):
+        cache = tmp_path / "cache"
+        status, _ = run(
+            ["sweep", manifest, "--cache-dir", str(cache), "--require-hits"]
+        )
+        assert status == 1  # cold: nothing was served from the cache
+        status, text = run(
+            ["sweep", manifest, "--cache-dir", str(cache), "--require-hits"]
+        )
+        assert status == 0  # warm: 100% hit rate
+        assert "2 hit(s), 0 miss(es)" in text
+
+    def test_item_error_is_isolated_and_reported(self, manifest, tmp_path):
+        import json
+
+        path = tmp_path / "broken.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"name": "ok", "source": L1_SOURCE, "include_io": False},
+                    {"name": "broken", "source": "not a loop"},
+                ]
+            )
+        )
+        out = tmp_path / "merged.json"
+        status, text = run(["sweep", str(path), "-o", str(out)])
+        assert status == 1  # some item failed
+        assert "ERROR" in text and "LoopIRError" in text
+        merged = json.loads(out.read_text())
+        assert merged["n_errors"] == 1
+        assert merged["items"][0]["status"] == "ok"
+        assert merged["items"][1]["status"] == "error"
+        assert merged["items"][1]["error"]["type"] == "LoopIRError"
+
+    def test_ledger_gets_a_sweep_record_with_cache_counters(
+        self, manifest, tmp_path
+    ):
+        from repro.obs import load_records
+
+        ledger = tmp_path / "ledger"
+        cache = tmp_path / "cache"
+        for _ in range(2):  # cold then warm
+            status, text = run(
+                [
+                    "sweep",
+                    manifest,
+                    "--cache-dir",
+                    str(cache),
+                    "--ledger",
+                    str(ledger),
+                ]
+            )
+            assert status == 0
+        cold, warm = load_records(ledger / "runs.jsonl")
+        assert cold["kind"] == warm["kind"] == "sweep"
+        assert cold["name"] == "sweep:sweep"
+        # stable payloads agree; the volatile cache counters differ
+        assert cold["payload"] == warm["payload"]
+        assert cold["timing"]["metrics"]["cache"]["miss"] == 2
+        assert warm["timing"]["metrics"]["cache"]["hit"] == 2
+
+    def test_repro_cache_env_toggle_is_shared(
+        self, manifest, tmp_path, monkeypatch
+    ):
+        cache = tmp_path / "envcache"
+        monkeypatch.setenv("REPRO_CACHE", str(cache))
+        status, text = run(["sweep", manifest])
+        assert status == 0
+        assert "miss(es)" in text
+        assert any(cache.glob("*.json"))
+        # falsy spellings must NOT create a directory named "0"
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        status, text = run(["sweep", manifest])
+        assert status == 0
+        assert "cache off" in text
+        assert not (pathlib_cwd() / "0").exists()
+
+    def test_missing_manifest_errors(self, tmp_path):
+        status, _ = run(["sweep", str(tmp_path / "nope.json")])
+        assert status == 1
+
+    def test_bad_worker_count_errors(self, manifest):
+        status, _ = run(["sweep", manifest, "--workers", "0"])
+        assert status == 1
+
+
+def pathlib_cwd():
+    import pathlib
+
+    return pathlib.Path.cwd()
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerate ``benchmarks/manifests/scaling.json`` — the committed
+scaling-family sweep manifest used by ``repro sweep``, ``make
+sweep-smoke`` and the sweep benchmark.
+
+The manifest is a plain materialisation of
+:func:`repro.batch.scaling_items`; committing it keeps the CLI
+acceptance path (``repro sweep benchmarks/manifests/scaling.json``)
+free of any generator dependency, while this script keeps the file
+honest when the family definition changes.
+
+Usage: ``PYTHONPATH=src python tools/gen_scaling_manifest.py``
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.batch import scaling_items  # noqa: E402
+
+SIZES = (4, 8, 16, 32)
+TARGET = ROOT / "benchmarks" / "manifests" / "scaling.json"
+
+
+def main() -> int:
+    items = [
+        {
+            "name": item.name,
+            "source": item.source,
+            "include_io": item.include_io,
+            "engine": item.engine,
+        }
+        for item in scaling_items(sizes=SIZES)
+    ]
+    TARGET.parent.mkdir(parents=True, exist_ok=True)
+    TARGET.write_text(
+        json.dumps({"items": items}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {len(items)} item(s) to {TARGET}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
