@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke sweep-smoke doctest linkcheck bench bench-check baseline dash clean
+.PHONY: verify test smoke sweep-smoke trace-smoke doctest linkcheck bench bench-check baseline dash clean
 
-verify: test doctest linkcheck smoke sweep-smoke
+verify: test doctest linkcheck smoke sweep-smoke trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,17 @@ sweep-smoke:
 		-o /tmp/sweep.warm.json
 	cmp /tmp/sweep.cold.json /tmp/sweep.warm.json
 
+# traced parallel sweep end to end: the merged trace must be lint-clean
+# with a lane per worker, and the exposition must parse as OpenMetrics
+trace-smoke:
+	$(PYTHON) -m repro sweep benchmarks/manifests/scaling.json \
+		--no-cache --workers 4 --no-progress \
+		--trace /tmp/sweep.trace.json --metrics-out /tmp/sweep.metrics.txt
+	$(PYTHON) tools/trace_lint.py /tmp/sweep.trace.json --require-lanes 4 --strict
+	$(PYTHON) -c "import pathlib; from repro.obs import parse_exposition; \
+		parse_exposition(pathlib.Path('/tmp/sweep.metrics.txt').read_text()); \
+		print('/tmp/sweep.metrics.txt: exposition is valid OpenMetrics')"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
@@ -50,4 +61,5 @@ dash:
 clean:
 	rm -f /tmp/l1.trace.json /tmp/l2.trace.jsonl /tmp/l1.dash.html /tmp/l2.dash.html
 	rm -rf /tmp/repro-sweep-cache /tmp/sweep.cold.json /tmp/sweep.warm.json
+	rm -f /tmp/sweep.trace.json /tmp/sweep.metrics.txt
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -135,6 +135,55 @@ def test_cache_hit_latency(benchmark, tmp_path):
     benchmark.extra_info["n_items"] = len(items)
 
 
+def test_tracing_overhead(benchmark, tmp_path):
+    """Span tracing is opt-in observability: a traced sweep must merge
+    to the same payload as an untraced one, and the overhead of the
+    tracer itself (span bookkeeping + flushed JSONL shard writes) must
+    stay a small fraction of the compile work it measures."""
+    from repro.obs import Tracer, load_merged_spans, merge_traces, write_trace
+
+    items = load_manifest(MANIFEST)
+    shard_dir = tmp_path / "shards"
+    shard_dir.mkdir()
+
+    def both():
+        plain, plain_wall = run_sweep(items)
+        tracer = Tracer(worker="parent")
+        started = time.perf_counter()
+        with tracer.span("sweep", manifest=MANIFEST.name):
+            traced = compile_many(
+                items, tracer=tracer, shard_dir=shard_dir
+            )
+        traced_wall = time.perf_counter() - started
+        return plain, traced, plain_wall, traced_wall, tracer
+
+    benchmark.group = "sweep: tracing"
+    plain, traced, plain_wall, traced_wall, tracer = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+
+    # Tracing must not change the answer...
+    assert stable_json(plain.merged_payload()) == stable_json(
+        traced.merged_payload()
+    )
+    # ...and the merged trace must cover every item.
+    document = merge_traces(shard_dir, parent=tracer)
+    trace_path = tmp_path / "bench.trace.json"
+    write_trace(document, trace_path)
+    spans = load_merged_spans(trace_path)
+    item_spans = [s for s in spans if s["name"].startswith("item:")]
+    assert len(item_spans) == traced.n_items
+
+    overhead = traced_wall / plain_wall
+    benchmark.extra_info["untraced_wall_s"] = round(plain_wall, 6)
+    benchmark.extra_info["traced_wall_s"] = round(traced_wall, 6)
+    benchmark.extra_info["tracing_overhead"] = round(overhead, 3)
+    assert overhead <= 1.5, (
+        f"traced sweep {overhead:.2f}x slower than untraced "
+        f"(ceiling 1.5x) on {len(items)} items"
+    )
+
+
 def test_manifest_matches_generator():
     """The committed manifest is exactly what the generator emits —
     regenerate with ``python tools/gen_scaling_manifest.py`` after

@@ -21,6 +21,9 @@ facts:
   order, not completion order), isolate per-item failures into
   structured error records, and report cache hit/miss counters through
   the metrics registry and the run ledger.
+* :mod:`repro.batch.progress` — the live single-line TTY progress
+  display (done/total, ETA, hit rate, stragglers) driven by
+  ``compile_many`` through a small dispatch/finish/close protocol.
 
 Quick use::
 
@@ -44,6 +47,7 @@ from .cache import (
     resolve_cache_dir,
 )
 from .manifest import SweepItem, load_manifest, scaling_items
+from .progress import SweepProgress
 from .sweep import SweepItemResult, SweepResult, compile_many
 
 __all__ = [
@@ -58,5 +62,6 @@ __all__ = [
     "scaling_items",
     "SweepItemResult",
     "SweepResult",
+    "SweepProgress",
     "compile_many",
 ]

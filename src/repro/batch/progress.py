@@ -1,0 +1,141 @@
+"""Live sweep telemetry: the single-line TTY progress display.
+
+``repro sweep`` over a hundred loops used to be a black box until the
+merge printed.  :class:`SweepProgress` turns it into a live line on
+stderr::
+
+    sweep 37/96 39% | eta 0:42 | hits 31/35 (89%) | 1 error | running: chain-64, recurrence-128
+
+* **auto-off**: the line renders only when the stream is a TTY (so
+  piped/CI output stays clean) and ``--no-progress`` forces it off;
+* **ETA** is the classic remaining = elapsed / done × (total − done);
+* **hit rate** counts hits over completed items that performed a cache
+  lookup (the same denominator as
+  :attr:`repro.batch.sweep.SweepResult.hit_rate`);
+* **stragglers**: the oldest not-yet-finished items in dispatch order —
+  for a process pool that executes its queue FIFO, the first ``workers``
+  of them are the items actually running.
+
+The reporter is also the progress *protocol*: :func:`repro.batch.sweep.
+compile_many` calls ``dispatch``/``finish``/``close`` whether or not
+rendering is enabled, so tests can substitute a recording double.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from time import perf_counter
+from typing import IO, List, Optional
+
+__all__ = ["SweepProgress"]
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    minutes, secs = divmod(seconds, 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class SweepProgress:
+    """Single-line, in-place progress reporting for ``compile_many``.
+
+    ``enabled=None`` (the default) auto-detects: render only when
+    ``stream`` is a terminal.  ``workers`` bounds how many dispatched
+    items can truly be in flight — the straggler list shows the oldest
+    unfinished items up to that many.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[IO[str]] = None,
+        enabled: Optional[bool] = None,
+        workers: int = 1,
+        min_interval: float = 0.1,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty and isatty())
+        self.enabled = enabled
+        self.total = total
+        self.workers = max(1, workers)
+        self.min_interval = min_interval
+        self.done = 0
+        self.hits = 0
+        self.lookups = 0
+        self.errors = 0
+        self._pending: List[str] = []  # dispatch order, unfinished only
+        self._started = perf_counter()
+        self._last_render = -1.0
+        self._dirty = False
+
+    # -- protocol (always called; cheap when disabled) ------------------
+    def dispatch(self, name: str) -> None:
+        """An item was handed to a worker (or is about to run serially)."""
+        self._pending.append(name)
+        self._render()
+
+    def finish(
+        self, name: str, cache_hit: bool, cache_lookup: bool, error: bool
+    ) -> None:
+        """An item completed (successfully or not)."""
+        self.done += 1
+        if cache_lookup and not error:
+            self.lookups += 1
+            if cache_hit:
+                self.hits += 1
+        if error:
+            self.errors += 1
+        try:
+            self._pending.remove(name)
+        except ValueError:
+            pass
+        self._render(force=self.done == self.total)
+
+    def close(self) -> None:
+        """Erase the progress line (the final summary replaces it)."""
+        if self.enabled and self._dirty:
+            self.stream.write("\r" + " " * self._width() + "\r")
+            self.stream.flush()
+
+    # -- rendering ------------------------------------------------------
+    def _width(self) -> int:
+        try:
+            return max(20, shutil.get_terminal_size().columns - 1)
+        except (ValueError, OSError):  # pragma: no cover - exotic TTYs
+            return 79
+
+    def _line(self) -> str:
+        elapsed = perf_counter() - self._started
+        pct = (100 * self.done) // self.total if self.total else 100
+        parts = [f"sweep {self.done}/{self.total} {pct}%"]
+        if 0 < self.done < self.total:
+            remaining = elapsed / self.done * (self.total - self.done)
+            parts.append(f"eta {_fmt_eta(remaining)}")
+        if self.lookups:
+            rate = 100.0 * self.hits / self.lookups
+            parts.append(f"hits {self.hits}/{self.lookups} ({rate:.0f}%)")
+        if self.errors:
+            parts.append(f"{self.errors} error(s)")
+        running = self._pending[: self.workers]
+        if running:
+            parts.append("running: " + ", ".join(running))
+        return " | ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = perf_counter()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        width = self._width()
+        line = self._line()[:width]
+        self.stream.write("\r" + line.ljust(width))
+        self.stream.flush()
+        self._dirty = True

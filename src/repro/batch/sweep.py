@@ -10,27 +10,52 @@ Design rules, all of which the test suite pins down:
   ``{"type", "message"}`` error record at its manifest position; the
   rest of the batch is unaffected and no half-written cache entry can
   result (stores are atomic, and failures are never cached);
-* **volatile vs stable** — cache hit/miss counts are measurement
-  artifacts (they differ between cold and warm runs by definition), so
-  they live in :meth:`SweepResult.cache_stats` and the metrics
-  registry, never inside :meth:`SweepResult.merged_payload`.
+* **volatile vs stable** — cache hit/miss counts, wall clocks, span
+  timings and worker lanes are measurement artifacts (they differ
+  between cold and warm runs by definition), so they live in
+  :meth:`SweepResult.cache_stats` / :meth:`SweepResult.timing_summary`
+  and the metrics registry, never inside
+  :meth:`SweepResult.merged_payload`.
 
 Workers are plain module-level functions over plain data
 (:class:`~repro.batch.manifest.SweepItem`), so the pool works under
 both fork and spawn start methods.
+
+Cross-process tracing: pass a truthy :class:`~repro.obs.spans.Tracer`
+(and, for ``workers > 1``, a ``shard_dir``) and every worker joins the
+parent's trace via a pool initializer — each pool process builds its
+own :class:`~repro.obs.spans.Tracer` from the propagated
+:class:`~repro.obs.spans.TraceContext` and streams finished spans into
+a JSONL shard keyed by its pid (``spans-<pid>.jsonl``).  Item compiles
+become ``item:<name>`` spans with ``cache.lookup`` / ``compile`` /
+``cache.store`` children, and the pipeline's :class:`~repro.obs.events.
+PhaseTimer` events (parse, translate, detect-frustum, ...) are
+converted into child spans too, so the merged trace shows the full
+pipeline nested inside every item, one lane per worker.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ReproError
-from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.events import EventSink, Instrumentation, PhaseTimer
+from ..obs.metrics import Histogram, MetricsRegistry, default_registry
+from ..obs.spans import (
+    NULL_TRACER,
+    SpanShardWriter,
+    TraceContext,
+    Tracer,
+    shard_paths,
+)
 from .cache import CompileCache, cache_key
 from .manifest import SweepItem
+from .progress import SweepProgress
 
 __all__ = ["SweepItemResult", "SweepResult", "compile_many"]
 
@@ -39,7 +64,13 @@ _CACHE_OUTCOMES = ("hit", "miss", "corrupt", "store")
 
 @dataclass
 class SweepItemResult:
-    """One manifest item's outcome, at its manifest position."""
+    """One manifest item's outcome, at its manifest position.
+
+    ``wall``, ``worker`` and ``phases`` are volatile measurement
+    artifacts (like ``cache_stats``): the item's compile wall-clock,
+    the lane that ran it, and — when span tracing was on — its
+    per-phase seconds.  None of them reach :meth:`record`.
+    """
 
     index: int
     name: str
@@ -47,8 +78,12 @@ class SweepItemResult:
     payload: Optional[Dict[str, Any]] = None
     error: Optional[Dict[str, str]] = None
     cache_hit: bool = False
+    cache_lookup: bool = False
     cache_stats: Optional[Dict[str, int]] = None
     key: Optional[str] = None
+    wall: float = 0.0
+    worker: Optional[str] = None
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -76,11 +111,18 @@ class SweepItemResult:
 
 @dataclass
 class SweepResult:
-    """Everything one :func:`compile_many` call produced."""
+    """Everything one :func:`compile_many` call produced.
+
+    ``span_shards`` lists the per-worker JSONL span-shard files of a
+    traced parallel sweep (empty when tracing was off or the sweep ran
+    serially in-process) — feed them to
+    :func:`repro.obs.trace_merge.merge_traces`.
+    """
 
     items: List[SweepItemResult]
     workers: int
     cache_dir: Optional[str] = None
+    span_shards: List[str] = field(default_factory=list)
 
     @property
     def n_items(self) -> int:
@@ -120,10 +162,141 @@ class SweepResult:
 
     @property
     def hit_rate(self) -> float:
-        """Cache hits over items (0.0 when the cache was off)."""
-        if not self.items:
+        """Cache hits over the items whose lookup could have been
+        served: items that actually performed a cache lookup **and**
+        compiled successfully.
+
+        Two groups are deliberately excluded from the denominator:
+
+        * items compiled with the cache off — they performed no lookup,
+          so they say nothing about the cache (a sweep with no lookups
+          at all reports ``0.0``);
+        * errored items — failures are never stored (see the module
+          docstring), so their lookups can never hit by design;
+          counting them would pin a fully-warm sweep over a manifest
+          containing one known-bad loop below 100% forever and make
+          ``--require-hits`` unsatisfiable.
+        """
+        looked_up = [i for i in self.items if i.cache_lookup and i.ok]
+        if not looked_up:
             return 0.0
-        return sum(1 for item in self.items if item.cache_hit) / len(self.items)
+        return sum(1 for item in looked_up if item.cache_hit) / len(looked_up)
+
+    def timing_summary(self) -> Dict[str, Any]:
+        """The volatile per-lane / per-phase timing summary stored
+        under ``timing.spans`` in sweep ledger records.
+
+        * ``lanes`` — items and busy seconds per worker lane;
+        * ``critical_path`` — the lane whose busy time bounds the
+          sweep's wall clock (items are independent, so the slowest
+          chain of item spans is the busiest worker's), with its
+          slowest items;
+        * ``phases`` — p50/p95 per pipeline phase (and ``item`` for
+          whole-item compiles) via
+          :meth:`~repro.obs.metrics.Histogram.percentile`, each tagged
+          ``exact_percentiles`` (``False`` once the retained-sample
+          window overflowed — printers mark those with ``~``).
+        """
+        lanes: Dict[str, Dict[str, Any]] = {}
+        phase_hists: Dict[str, Histogram] = {}
+
+        def observe(phase: str, seconds: float) -> None:
+            hist = phase_hists.get(phase)
+            if hist is None:
+                hist = phase_hists[phase] = Histogram(phase)
+            hist.observe(seconds)
+
+        for item in self.items:
+            lane = lanes.setdefault(
+                item.worker or "unknown",
+                {"items": 0, "busy_seconds": 0.0},
+            )
+            lane["items"] += 1
+            lane["busy_seconds"] += item.wall
+            observe("item", item.wall)
+            for phase, seconds in (item.phases or {}).items():
+                observe(phase, seconds)
+
+        critical: Optional[Dict[str, Any]] = None
+        if lanes:
+            worker = max(lanes, key=lambda w: lanes[w]["busy_seconds"])
+            chain = sorted(
+                (i for i in self.items if (i.worker or "unknown") == worker),
+                key=lambda i: -i.wall,
+            )
+            critical = {
+                "worker": worker,
+                "busy_seconds": lanes[worker]["busy_seconds"],
+                "items": [
+                    {"name": i.name, "seconds": i.wall} for i in chain[:5]
+                ],
+            }
+        return {
+            "n_items": self.n_items,
+            "busy_seconds": sum(item.wall for item in self.items),
+            "lanes": lanes,
+            "critical_path": critical,
+            "phases": {
+                name: {
+                    "count": hist.count,
+                    "p50": hist.percentile(50),
+                    "p95": hist.percentile(95),
+                    "exact_percentiles": hist.exact_percentiles,
+                }
+                for name, hist in sorted(phase_hists.items())
+            },
+        }
+
+
+class _PhaseSpanSink(EventSink):
+    """Converts the pipeline's :class:`PhaseTimer` events into child
+    spans of the currently open item span, and collects the per-phase
+    seconds the worker reports back to the parent."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self.phases: Dict[str, float] = {}
+
+    def emit(self, event) -> None:
+        if isinstance(event, PhaseTimer):
+            self._tracer.record_completed(
+                f"phase:{event.phase}", event.seconds
+            )
+            self.phases[event.phase] = (
+                self.phases.get(event.phase, 0.0) + event.seconds
+            )
+
+
+#: Per-process tracing state, installed by :func:`_worker_init` in pool
+#: workers (and set temporarily by :func:`compile_many` for serial,
+#: in-process sweeps).  Module-level so it survives across the many
+#: ``_compile_item`` calls one pool process serves.
+_WORKER_TRACER: Optional[Tracer] = None
+_WORKER_SHARD: Optional[SpanShardWriter] = None
+
+
+def _worker_init(
+    context: Optional[Tuple[str, Optional[str], float]],
+    shard_dir: Optional[str],
+) -> None:
+    """Pool initializer: join the parent's trace and open this worker's
+    span shard.  Runs once per pool process, so every spawned worker
+    owns a lane (shard header) even before its first item."""
+    global _WORKER_TRACER, _WORKER_SHARD
+    if context is None or shard_dir is None:
+        _WORKER_TRACER = None
+        _WORKER_SHARD = None
+        return
+    tracer = Tracer(
+        context=TraceContext.from_tuple(context),
+        worker=f"worker-{os.getpid()}",
+    )
+    shard = SpanShardWriter(
+        pathlib.Path(shard_dir) / f"spans-{os.getpid()}.jsonl", tracer
+    )
+    tracer.writer = shard.write
+    _WORKER_TRACER = tracer
+    _WORKER_SHARD = shard
 
 
 def _compile_item(
@@ -133,6 +306,7 @@ def _compile_item(
     per-item failures — those become structured error dicts — so one
     bad loop cannot kill the batch."""
     index, item, cache_dir = task
+    tracer = _WORKER_TRACER if _WORKER_TRACER is not None else NULL_TRACER
     registry = MetricsRegistry()  # process-local; merged by the parent
     cache = (
         CompileCache(cache_dir, registry=registry)
@@ -149,26 +323,45 @@ def _compile_item(
     payload: Optional[Dict[str, Any]] = None
     error: Optional[Dict[str, str]] = None
     cache_hit = False
-    if cache is not None:
-        payload = cache.load(key)
-        cache_hit = payload is not None
-    if payload is None:
-        from ..pipeline import compile_loop
+    phases: Optional[Dict[str, float]] = None
+    started = perf_counter()
+    with tracer.span(f"item:{item.name}", item=item.name, index=index):
+        if cache is not None:
+            with tracer.span("cache.lookup"):
+                payload = cache.load(key)
+            cache_hit = payload is not None
+        if payload is None:
+            from ..pipeline import compile_loop
 
-        try:
-            compiled = compile_loop(
-                item.source,
-                scalars=item.scalars,
-                pipeline_stages=item.pipeline_stages,
-                include_io=item.include_io,
-                engine=item.engine,
-            )
-        except Exception as exc:  # noqa: BLE001 — isolate *any* failure
-            error = {"type": type(exc).__name__, "message": str(exc)}
-        else:
-            payload = compiled.summary().payload()
-            if cache is not None:
-                cache.store(key, payload)
+            if tracer.enabled:
+                phase_sink = _PhaseSpanSink(tracer)
+                obs = Instrumentation(
+                    sinks=[phase_sink],
+                    metrics=MetricsRegistry(enabled=False),
+                )
+            else:
+                phase_sink = None
+                obs = None
+            try:
+                with tracer.span("compile"):
+                    compiled = compile_loop(
+                        item.source,
+                        scalars=item.scalars,
+                        pipeline_stages=item.pipeline_stages,
+                        include_io=item.include_io,
+                        engine=item.engine,
+                        **({"instrumentation": obs} if obs is not None else {}),
+                    )
+            except Exception as exc:  # noqa: BLE001 — isolate *any* failure
+                error = {"type": type(exc).__name__, "message": str(exc)}
+            else:
+                payload = compiled.summary().payload()
+                if cache is not None:
+                    with tracer.span("cache.store"):
+                        cache.store(key, payload)
+            if phase_sink is not None:
+                phases = phase_sink.phases
+    wall = perf_counter() - started
     stats = {
         outcome: registry.counter(f"batch.cache.{outcome}").value
         for outcome in _CACHE_OUTCOMES
@@ -180,8 +373,12 @@ def _compile_item(
         "payload": payload,
         "error": error,
         "cache_hit": cache_hit,
+        "cache_lookup": cache is not None,
         "cache_stats": stats,
         "key": key,
+        "wall": wall,
+        "worker": tracer.worker if tracer.enabled else f"worker-{os.getpid()}",
+        "phases": phases,
     }
 
 
@@ -197,6 +394,9 @@ def compile_many(
     cache: Optional[CompileCache] = None,
     cache_dir: Optional[Union[str, pathlib.Path]] = None,
     registry: Optional[MetricsRegistry] = None,
+    progress: Optional[SweepProgress] = None,
+    tracer: Optional[Tracer] = None,
+    shard_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> SweepResult:
     """Compile every manifest item, optionally in parallel and through
     the compile cache.
@@ -214,8 +414,22 @@ def compile_many(
         in.  Omit both to compile everything from scratch.
     registry:
         Metrics registry for the aggregated ``batch.cache.*`` /
-        ``batch.sweep.*`` counters (default: the process-wide one).
+        ``batch.sweep.*`` counters and the ``sweep.item`` /
+        ``sweep.phase.*`` timers (default: the process-wide one).
+    progress:
+        A :class:`~repro.batch.progress.SweepProgress` reporter.  Its
+        ``dispatch``/``finish``/``close`` protocol is driven as items
+        are handed out and *complete* (completion order, not manifest
+        order), so the display is live even though results merge
+        deterministically.
+    tracer / shard_dir:
+        A truthy :class:`~repro.obs.spans.Tracer` turns span tracing
+        on.  Serial sweeps trace in-process into the tracer itself;
+        parallel sweeps additionally need ``shard_dir``, a directory
+        where every pool worker writes its ``spans-<pid>.jsonl`` shard
+        (listed afterwards in :attr:`SweepResult.span_shards`).
     """
+    global _WORKER_TRACER
     if workers < 1:
         raise ReproError(f"sweep needs >= 1 worker, got {workers}")
     if cache is not None and cache_dir is not None:
@@ -225,16 +439,65 @@ def compile_many(
         if cache is not None
         else (str(cache_dir) if cache_dir is not None else None)
     )
+    tracing = tracer is not None and bool(tracer)
+    if tracing and workers > 1 and shard_dir is None:
+        raise ReproError("a traced parallel sweep needs a shard_dir")
     sweep_items = [_as_item(entry, index) for index, entry in enumerate(items)]
     tasks = [
         (index, item, directory) for index, item in enumerate(sweep_items)
     ]
 
+    raw: List[Dict[str, Any]] = []
+    shards: List[str] = []
     if workers == 1 or len(tasks) <= 1:
-        raw = [_compile_item(task) for task in tasks]
+        previous = _WORKER_TRACER
+        _WORKER_TRACER = tracer if tracing else None
+        try:
+            for task in tasks:
+                if progress is not None:
+                    progress.dispatch(task[1].name)
+                entry = _compile_item(task)
+                raw.append(entry)
+                if progress is not None:
+                    progress.finish(
+                        entry["name"],
+                        cache_hit=entry["cache_hit"],
+                        cache_lookup=entry["cache_lookup"],
+                        error=entry["status"] == "error",
+                    )
+        finally:
+            _WORKER_TRACER = previous
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            raw = list(pool.map(_compile_item, tasks))
+        initargs: Tuple[Any, ...] = (None, None)
+        if tracing:
+            initargs = (
+                tracer.make_context().to_tuple(),
+                str(shard_dir),
+            )
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=initargs,
+        ) as pool:
+            futures = {}
+            for task in tasks:
+                futures[pool.submit(_compile_item, task)] = task[1].name
+                if progress is not None:
+                    progress.dispatch(task[1].name)
+            for future in as_completed(futures):
+                entry = future.result()
+                raw.append(entry)
+                if progress is not None:
+                    progress.finish(
+                        entry["name"],
+                        cache_hit=entry["cache_hit"],
+                        cache_lookup=entry["cache_lookup"],
+                        error=entry["status"] == "error",
+                    )
+        if tracing:
+            shards = [str(path) for path in shard_paths(shard_dir)]
+    if progress is not None:
+        progress.close()
 
     raw.sort(key=lambda result: result["index"])  # manifest order, always
     results = [
@@ -245,13 +508,20 @@ def compile_many(
             payload=entry["payload"],
             error=entry["error"],
             cache_hit=entry["cache_hit"],
+            cache_lookup=entry["cache_lookup"],
             cache_stats=entry["cache_stats"],
             key=entry["key"],
+            wall=entry["wall"],
+            worker=entry["worker"],
+            phases=entry["phases"],
         )
         for entry in raw
     ]
     result = SweepResult(
-        items=results, workers=workers, cache_dir=directory
+        items=results,
+        workers=workers,
+        cache_dir=directory,
+        span_shards=shards,
     )
 
     target_registry = registry if registry is not None else default_registry()
@@ -263,4 +533,8 @@ def compile_many(
             )
     target_registry.counter("batch.sweep.items").inc(result.n_items)
     target_registry.counter("batch.sweep.errors").inc(result.n_errors)
+    for item in results:
+        target_registry.record_time("sweep.item", item.wall)
+        for phase, seconds in (item.phases or {}).items():
+            target_registry.record_time(f"sweep.phase.{phase}", seconds)
     return result

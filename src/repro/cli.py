@@ -19,7 +19,13 @@ Commands
 ``sweep``     batch-compile a JSON manifest of loops through the
               content-addressed compile cache, optionally over a
               process pool (``--workers N``), and merge the
-              deterministic payloads in manifest order;
+              deterministic payloads in manifest order; ``--trace``
+              writes a merged cross-process span trace (one lane per
+              worker), ``--metrics-out`` an OpenMetrics exposition,
+              and a live progress line renders on TTYs
+              (``--no-progress`` to suppress);
+``metrics``   render a ledger record's timing data as OpenMetrics
+              text exposition;
 ``bench-check``  compare ``benchmarks/results/*.json`` against the
               committed baseline and exit non-zero on regressions.
 
@@ -244,6 +250,62 @@ def build_parser() -> argparse.ArgumentParser:
             "append a 'sweep' run record (merged payload + cache "
             "hit/miss counters) to the JSONL run ledger"
         ),
+    )
+    sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "span-trace the sweep and write the merged Chrome/Perfetto "
+            "trace (one lane per worker) to FILE"
+        ),
+    )
+    sweep.add_argument(
+        "--no-progress",
+        action="store_true",
+        help=(
+            "suppress the live progress line (it is auto-disabled when "
+            "stderr is not a terminal)"
+        ),
+    )
+    sweep.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the sweep's metrics registry in OpenMetrics text "
+            "exposition format to FILE ('-' for stdout)"
+        ),
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="render a ledger record's timing data as OpenMetrics text",
+    )
+    metrics.add_argument(
+        "--from-ledger",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSONL ledger to read from "
+            "(default: benchmarks/ledger/runs.jsonl)"
+        ),
+    )
+    metrics.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help=(
+            "render the latest record with this name "
+            "(default: the latest record in the ledger)"
+        ),
+    )
+    metrics.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the exposition to FILE instead of stdout",
     )
 
     bench_check = subparsers.add_parser(
@@ -538,12 +600,17 @@ def _cmd_dash(args: argparse.Namespace, out) -> int:
     # A missing, empty, or unreadable ledger must never block the
     # dashboard — trends degrade to the placeholder panel instead.
     history = []
+    sweep_history = []
     if history_path.is_file():
         try:
+            records = load_records(history_path)
             history = [
                 record
-                for record in load_records(history_path)
+                for record in records
                 if record.get("payload", {}).get("loop") == loop_name
+            ]
+            sweep_history = [
+                record for record in records if record.get("kind") == "sweep"
             ]
         except LedgerError as error:
             log.warning("ignoring unreadable ledger history: %s", error)
@@ -552,6 +619,7 @@ def _cmd_dash(args: argparse.Namespace, out) -> int:
                 file=out,
             )
             history = []
+            sweep_history = []
 
     document = render_dash(
         loop_name=loop_name,
@@ -560,6 +628,7 @@ def _cmd_dash(args: argparse.Namespace, out) -> int:
         durations=result.pn.durations,
         occupancy=occupancy,
         history=history,
+        sweep_history=sweep_history,
         git_sha=git_sha(),
     )
     output = args.output or f"{args.loop_file}.dash.html"
@@ -583,9 +652,15 @@ def _cmd_dash(args: argparse.Namespace, out) -> int:
 def _cmd_sweep(args: argparse.Namespace, out) -> int:
     """Batch-compile a manifest; merge results in manifest order."""
     import pathlib
+    import tempfile
     import time
 
-    from .batch import compile_many, load_manifest, resolve_cache_dir
+    from .batch import (
+        SweepProgress,
+        compile_many,
+        load_manifest,
+        resolve_cache_dir,
+    )
     from .obs import stable_json
     from .report import render_table
 
@@ -599,9 +674,52 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         cache_dir = resolve_cache_dir()  # REPRO_CACHE, shared parser
 
     items = load_manifest(args.manifest)
+    tracer = None
+    shard_tmp = None
+    if args.trace is not None:
+        from .obs import Tracer
+
+        tracer = Tracer(worker="parent")
+        if args.workers > 1:
+            shard_tmp = tempfile.TemporaryDirectory(prefix="repro-spans-")
+    progress = SweepProgress(
+        total=len(items),
+        enabled=False if args.no_progress else None,
+        workers=args.workers,
+    )
     started = time.perf_counter()
-    result = compile_many(items, workers=args.workers, cache_dir=cache_dir)
-    wall = time.perf_counter() - started
+    try:
+        if tracer is not None:
+            with tracer.span(
+                "sweep", manifest=str(args.manifest), workers=args.workers
+            ):
+                result = compile_many(
+                    items,
+                    workers=args.workers,
+                    cache_dir=cache_dir,
+                    progress=progress,
+                    tracer=tracer,
+                    shard_dir=shard_tmp.name if shard_tmp else None,
+                )
+        else:
+            result = compile_many(
+                items,
+                workers=args.workers,
+                cache_dir=cache_dir,
+                progress=progress,
+            )
+        wall = time.perf_counter() - started
+
+        if tracer is not None:
+            from .obs import merge_traces, write_trace
+
+            document = merge_traces(
+                result.span_shards, parent=tracer, parent_label="parent"
+            )
+            write_trace(document, args.trace)
+    finally:
+        if shard_tmp is not None:
+            shard_tmp.cleanup()
 
     rows = []
     for item in result.items:
@@ -647,6 +765,15 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         file=out,
     )
 
+    timing = result.timing_summary()
+    if tracer is not None:
+        lanes = document["otherData"]["lanes"]
+        print(
+            f"wrote merged trace ({len(lanes)} lane(s)) to {args.trace}",
+            file=out,
+        )
+        print(_render_timing_summary(timing), file=out)
+
     merged = result.merged_payload()
     if args.output is not None:
         pathlib.Path(args.output).write_text(
@@ -654,12 +781,26 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         )
         print(f"wrote merged payload to {args.output}", file=out)
 
+    if args.metrics_out is not None:
+        from .obs import default_registry, render_openmetrics
+
+        exposition = render_openmetrics(default_registry())
+        if args.metrics_out == "-":
+            out.write(exposition)
+        else:
+            pathlib.Path(args.metrics_out).write_text(
+                exposition, encoding="utf-8"
+            )
+            print(f"wrote OpenMetrics exposition to {args.metrics_out}", file=out)
+
     if args.ledger is not None:
-        path = _append_sweep_record(args, merged, stats, wall)
+        path = _append_sweep_record(args, merged, stats, wall, timing)
         print(f"appended sweep record to {path}", file=out)
 
     if args.require_hits and result.hit_rate < 1.0:
-        misses = [i.name for i in result.items if not i.cache_hit]
+        # only ok items can be expected to hit: failures are never
+        # cached, and hit_rate excludes them for the same reason
+        misses = [i.name for i in result.items if i.ok and not i.cache_hit]
         print(
             f"error: --require-hits: {len(misses)} item(s) were not "
             f"served from the cache: {', '.join(misses)}",
@@ -669,12 +810,42 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     return 1 if result.n_errors else 0
 
 
+def _render_timing_summary(timing) -> str:
+    """The post-sweep critical-path block: the lane that bounded the
+    wall clock, its slowest items, and per-phase p50/p95 (``~`` marks
+    percentiles from an overflowed sample window)."""
+    lines = []
+    critical = timing.get("critical_path")
+    if critical:
+        lines.append(
+            f"critical path: {critical['worker']} "
+            f"({critical['busy_seconds']:.3f}s busy over "
+            f"{len(timing.get('lanes', {}))} lane(s))"
+        )
+        for entry in critical["items"]:
+            lines.append(f"  {entry['seconds']:9.3f}s  {entry['name']}")
+    phases = timing.get("phases") or {}
+    if phases:
+        lines.append("phase percentiles (s):")
+        for name, stats in phases.items():
+            approx = "" if stats.get("exact_percentiles", True) else "~"
+            p50 = stats.get("p50")
+            p95 = stats.get("p95")
+            lines.append(
+                f"  {name:<20} n={stats['count']:<5} "
+                f"p50={approx}{p50:.6f} p95={approx}{p95:.6f}"
+                if p50 is not None and p95 is not None
+                else f"  {name:<20} n={stats['count']}"
+            )
+    return "\n".join(lines)
+
+
 def _append_sweep_record(
-    args: argparse.Namespace, merged, cache_stats, wall: float
+    args: argparse.Namespace, merged, cache_stats, wall: float, timing=None
 ):
     """Append the ``sweep`` run record: the deterministic merged
-    payload, with cache counters and wall clock quarantined in the
-    volatile ``timing`` section."""
+    payload, with cache counters, wall clock and the span timing
+    summary quarantined in the volatile ``timing`` section."""
     import pathlib
 
     from .obs import default_registry
@@ -701,8 +872,37 @@ def _append_sweep_record(
             "sweep.total": {"count": 1, "total": wall, "mean": wall},
         },
         metrics={**snapshot["counters"], "cache": dict(cache_stats)},
+        spans=timing,
     )
     return append_record(directory / RUNS_FILE, record)
+
+
+def _cmd_metrics(args: argparse.Namespace, out) -> int:
+    """Render one ledger record's timing section as OpenMetrics text —
+    the bridge from the append-only ledger to scrape-based tooling."""
+    import pathlib
+
+    from .obs import dump_from_record, render_openmetrics
+    from .obs.ledger import RUNS_FILE, default_ledger_dir, load_records
+
+    source = (
+        pathlib.Path(args.from_ledger)
+        if args.from_ledger is not None
+        else default_ledger_dir() / RUNS_FILE
+    )
+    records = load_records(source)
+    if args.name is not None:
+        records = [r for r in records if r.get("name") == args.name]
+    if not records:
+        wanted = f" named {args.name!r}" if args.name is not None else ""
+        raise ReproError(f"no ledger record{wanted} in {source}")
+    exposition = render_openmetrics(dump_from_record(records[-1]))
+    if args.output is not None:
+        pathlib.Path(args.output).write_text(exposition, encoding="utf-8")
+        print(f"wrote OpenMetrics exposition to {args.output}", file=out)
+    else:
+        out.write(exposition)
+    return 0
 
 
 def _cmd_bench_check(args: argparse.Namespace, out) -> int:
@@ -823,6 +1023,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "dash": _cmd_dash,
     "sweep": _cmd_sweep,
+    "metrics": _cmd_metrics,
     "bench-check": _cmd_bench_check,
 }
 
@@ -836,9 +1037,14 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     profiling = getattr(args, "profile", False)
-    # --ledger wants phase timings in its record, so it enables the
+    # --ledger wants phase timings in its record and --metrics-out
+    # wants counters/timers in its exposition, so both enable the
     # registry exactly like --profile (without printing the table)
-    collecting = profiling or getattr(args, "ledger", None) is not None
+    collecting = (
+        profiling
+        or getattr(args, "ledger", None) is not None
+        or getattr(args, "metrics_out", None) is not None
+    )
     if collecting:
         registry = default_registry()
         registry.reset()

@@ -10,9 +10,19 @@ gives the performance work a measurement substrate:
   pay a single pointer check when tracing is off;
 * :mod:`repro.obs.trace` — JSONL and Chrome/Perfetto trace sinks (one
   track per transition, one slice per firing: the paper's behavior
-  graph rendered by a trace viewer);
-* :mod:`repro.obs.metrics` — counters/histograms/``perf_counter``
-  timers with a ``@timed`` decorator and a JSON-dumpable registry;
+  graph rendered by a trace viewer), streaming + crash-tolerant;
+* :mod:`repro.obs.spans` — cross-process span tracing: ``Span`` records
+  with trace/span/parent ids, the context-manager ``Tracer`` API (no-op
+  :data:`NULL_TRACER` default), ``TraceContext`` propagation into sweep
+  workers, and durable per-worker JSONL span shards;
+* :mod:`repro.obs.trace_merge` — merges worker span shards plus the
+  parent's spans into one Chrome/Perfetto trace with one lane per
+  worker (deterministic order, clock-skew normalization);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms/
+  ``perf_counter`` timers with a ``@timed`` decorator and a
+  JSON-dumpable registry;
+* :mod:`repro.obs.openmetrics` — OpenMetrics text exposition of any
+  registry (``repro sweep --metrics-out``, ``repro metrics``);
 * :mod:`repro.obs.logging_setup` — stdlib logging wiring with a
   ``REPRO_LOG`` environment override;
 * :mod:`repro.obs.schema` / :mod:`repro.obs.ledger` — the normalized,
@@ -49,12 +59,30 @@ from .events import (
 from .logging_setup import logging_setup
 from .metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     default_registry,
     time_block,
     timed,
 )
+from .openmetrics import (
+    dump_from_record,
+    parse_exposition,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from .spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanShardWriter,
+    TraceContext,
+    Tracer,
+    read_shard,
+    shard_paths,
+)
+from .trace_merge import load_merged_spans, merge_traces, write_trace
 from .ledger import (
     BASELINE_FILE,
     RUNS_FILE,
@@ -80,9 +108,26 @@ from .schema import (
     stable_json,
     validate_record,
 )
-from .trace import ChromeTraceSink, JsonlTraceSink
+from .trace import ChromeTraceSink, JsonlTraceSink, load_trace_events
 
 __all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanShardWriter",
+    "read_shard",
+    "shard_paths",
+    "merge_traces",
+    "write_trace",
+    "load_merged_spans",
+    "load_trace_events",
+    "Gauge",
+    "render_openmetrics",
+    "dump_from_record",
+    "parse_exposition",
+    "sanitize_metric_name",
     "Event",
     "EventSink",
     "FiringStarted",

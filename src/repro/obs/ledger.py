@@ -160,6 +160,7 @@ def make_run_record(
     command: Optional[str] = None,
     phase_wall_clock: Optional[Mapping[str, Any]] = None,
     metrics: Optional[Mapping[str, Any]] = None,
+    spans: Optional[Mapping[str, Any]] = None,
     cwd: Optional[_PathLike] = None,
 ) -> Dict[str, Any]:
     """Assemble one normalised, validated run record.
@@ -169,6 +170,9 @@ def make_run_record(
     ``metrics`` is a metrics-registry ``dump()`` snapshot — counters
     and histograms are kept in the volatile ``timing`` section too,
     since their values (step counts aside) are measurement artifacts.
+    ``spans`` is a traced sweep's lane/critical-path summary
+    (:meth:`repro.batch.sweep.SweepResult.timing_summary`), stored
+    under ``timing.spans`` — volatile like all timing data.
     """
     record: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
@@ -185,6 +189,8 @@ def make_run_record(
         timing["phase_wall_clock"] = dict(phase_wall_clock)
     if metrics:
         timing["metrics"] = dict(metrics)
+    if spans:
+        timing["spans"] = dict(spans)
     if timing:
         record["timing"] = timing
     validate_record(record)

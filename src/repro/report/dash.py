@@ -434,6 +434,69 @@ def _history_html(history: Sequence[Mapping[str, Any]]) -> str:
     return "".join(sections)
 
 
+def _sweep_html(sweep_history: Sequence[Mapping[str, Any]]) -> str:
+    """Worker-lane utilization of the latest traced sweep record.
+
+    Reads the volatile ``timing.spans`` summary that ``repro sweep
+    --ledger`` appends: busy seconds per worker lane, the critical
+    (wall-clock-bounding) lane, and per-phase p50/p95.  Percentiles
+    computed from an overflowed sample window are marked ``~``.
+    """
+    latest: Optional[Mapping[str, Any]] = None
+    for record in sweep_history:
+        spans = record.get("timing", {}).get("spans")
+        if isinstance(spans, Mapping) and spans.get("lanes"):
+            latest = record
+    if latest is None:
+        return ""
+    spans = latest["timing"]["spans"]
+    sha = str(latest.get("git_sha", "?"))[:7]
+    lanes = spans.get("lanes", {})
+    critical = spans.get("critical_path") or {}
+    critical_worker = critical.get("worker")
+    lane_rows = []
+    for worker in sorted(lanes):
+        lane = lanes[worker]
+        marker = " ●" if worker == critical_worker else ""
+        lane_rows.append(
+            f'<tr><td class="name">{_esc(worker)}{marker}</td>'
+            f'<td>{lane.get("items", 0)}</td>'
+            f'<td>{float(lane.get("busy_seconds", 0.0)):.3f}</td></tr>'
+        )
+    phase_rows = []
+    for name, stats in sorted((spans.get("phases") or {}).items()):
+        approx = "" if stats.get("exact_percentiles", True) else "~"
+        p50 = stats.get("p50")
+        p95 = stats.get("p95")
+        phase_rows.append(
+            f'<tr><td class="name">{_esc(name)}</td>'
+            f'<td>{stats.get("count", 0)}</td>'
+            f"<td>{approx}{p50:.6f}</td><td>{approx}{p95:.6f}</td></tr>"
+            if isinstance(p50, (int, float)) and isinstance(p95, (int, float))
+            else f'<tr><td class="name">{_esc(name)}</td>'
+            f'<td>{stats.get("count", 0)}</td><td>—</td><td>—</td></tr>'
+        )
+    sections = [
+        f"<h2>Sweep lanes — {_esc(str(latest.get('name', 'sweep')))} "
+        f"at {_esc(sha)}</h2>",
+        '<p class="note">● marks the critical lane: the busiest worker, '
+        "whose chain of item compiles bounds the sweep’s wall clock. "
+        "A ~ prefix marks percentiles estimated from a bounded sample "
+        "window.</p>",
+        "<table><thead><tr><th>lane</th><th>items</th>"
+        "<th>busy s</th></tr></thead>"
+        f'<tbody>{"".join(lane_rows)}</tbody></table>',
+    ]
+    if phase_rows:
+        sections.append(
+            "<details><summary>per-phase percentiles</summary>"
+            "<table><thead><tr><th>phase</th><th>n</th><th>p50 s</th>"
+            "<th>p95 s</th></tr></thead>"
+            f'<tbody>{"".join(phase_rows)}</tbody></table></details>'
+        )
+    return "".join(sections)
+
+
 def _trend_table(points: Sequence[TrendPoint], label: str) -> str:
     rows = "".join(
         f'<tr><td class="name">{_esc(p.label)}</td><td>{p.value:g}</td></tr>'
@@ -453,6 +516,7 @@ def render_dash(
     durations: Mapping[str, int],
     occupancy: Mapping[str, Sequence[int]],
     history: Sequence[Mapping[str, Any]] = (),
+    sweep_history: Sequence[Mapping[str, Any]] = (),
     git_sha: str = "unknown",
 ) -> str:
     """Assemble the complete self-contained HTML document."""
@@ -518,6 +582,9 @@ def render_dash(
         '<div class="card">',
         _history_html(history),
         "</div>",
-        "</body></html>",
     ]
+    sweep_section = _sweep_html(sweep_history)
+    if sweep_section:
+        parts.append('<div class="card">' + sweep_section + "</div>")
+    parts.append("</body></html>")
     return "\n".join(parts)

@@ -1,0 +1,87 @@
+"""The live sweep progress line: protocol, rendering, auto-off."""
+
+import io
+
+from repro.batch import SweepProgress
+
+
+class FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestEnablement:
+    def test_auto_off_for_non_tty(self):
+        progress = SweepProgress(total=3, stream=io.StringIO())
+        assert not progress.enabled
+
+    def test_auto_on_for_tty(self):
+        progress = SweepProgress(total=3, stream=FakeTty())
+        assert progress.enabled
+
+    def test_explicit_off_beats_tty(self):
+        stream = FakeTty()
+        progress = SweepProgress(total=3, stream=stream, enabled=False)
+        progress.dispatch("a")
+        progress.finish("a", cache_hit=False, cache_lookup=False, error=False)
+        progress.close()
+        assert stream.getvalue() == ""
+
+
+class TestProtocol:
+    def test_counts_and_hit_rate(self):
+        progress = SweepProgress(total=4, stream=io.StringIO(), enabled=False)
+        for name in ("a", "b", "c", "d"):
+            progress.dispatch(name)
+        progress.finish("a", cache_hit=True, cache_lookup=True, error=False)
+        progress.finish("b", cache_hit=False, cache_lookup=True, error=False)
+        progress.finish("c", cache_hit=False, cache_lookup=False, error=False)
+        progress.finish("d", cache_hit=False, cache_lookup=True, error=True)
+        assert progress.done == 4
+        assert progress.errors == 1
+        # same denominator as SweepResult.hit_rate: lookups by items
+        # that completed ok; the errored item d is excluded
+        assert progress.lookups == 2
+        assert progress.hits == 1
+
+    def test_stragglers_are_oldest_pending(self):
+        progress = SweepProgress(
+            total=4, stream=io.StringIO(), enabled=False, workers=2
+        )
+        for name in ("a", "b", "c", "d"):
+            progress.dispatch(name)
+        progress.finish("a", cache_hit=False, cache_lookup=False, error=False)
+        assert progress._pending[: progress.workers] == ["b", "c"]
+
+
+class TestRendering:
+    def test_line_overwrites_in_place(self):
+        stream = FakeTty()
+        progress = SweepProgress(
+            total=2, stream=stream, workers=2, min_interval=0.0
+        )
+        progress.dispatch("alpha")
+        progress.dispatch("beta")
+        progress.finish(
+            "alpha", cache_hit=True, cache_lookup=True, error=False
+        )
+        text = stream.getvalue()
+        assert "\r" in text and "\n" not in text
+        assert "sweep 1/2" in text
+        assert "running: beta" in text
+        assert "hits 1/1" in text
+
+    def test_close_erases_the_line(self):
+        stream = FakeTty()
+        progress = SweepProgress(total=1, stream=stream, min_interval=0.0)
+        progress.dispatch("a")
+        progress.finish("a", cache_hit=False, cache_lookup=False, error=False)
+        progress.close()
+        assert stream.getvalue().endswith("\r")
+
+    def test_eta_appears_mid_sweep(self):
+        stream = FakeTty()
+        progress = SweepProgress(total=3, stream=stream, min_interval=0.0)
+        progress.dispatch("a")
+        progress.finish("a", cache_hit=False, cache_lookup=False, error=False)
+        assert "eta " in stream.getvalue()

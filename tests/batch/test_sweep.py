@@ -121,6 +121,189 @@ class TestCacheAccounting:
         assert summary.schedule.initiation_interval >= 1
 
 
+class TestHitRate:
+    def test_errored_items_do_not_dilute_the_rate(self, tmp_path):
+        compile_many([GOOD, GOOD2], cache_dir=tmp_path)  # warm the cache
+        warm = compile_many([GOOD, GOOD2, BAD_PARSE], cache_dir=tmp_path)
+        # bad-parse performed a lookup that can never hit (failures are
+        # never stored) — it must not pin the rate below 1.0
+        assert warm.n_errors == 1
+        assert warm.hit_rate == 1.0
+
+    def test_cache_off_items_report_zero_not_crash(self):
+        result = compile_many([GOOD])
+        assert result.hit_rate == 0.0
+        assert not result.items[0].cache_lookup
+
+    def test_cold_rate_is_zero(self, tmp_path):
+        cold = compile_many([GOOD, GOOD2], cache_dir=tmp_path)
+        assert cold.hit_rate == 0.0
+        assert all(item.cache_lookup for item in cold.items)
+
+
+class RecordingProgress:
+    """Protocol double for compile_many's dispatch/finish/close calls."""
+
+    def __init__(self):
+        self.calls = []
+
+    def dispatch(self, name):
+        self.calls.append(("dispatch", name))
+
+    def finish(self, name, cache_hit, cache_lookup, error):
+        self.calls.append(("finish", name, cache_hit, cache_lookup, error))
+
+    def close(self):
+        self.calls.append(("close",))
+
+
+class TestProgressProtocol:
+    def test_serial_sweep_drives_the_protocol(self):
+        progress = RecordingProgress()
+        compile_many([GOOD, BAD_PARSE], progress=progress)
+        assert progress.calls[0] == ("dispatch", "good")
+        assert ("finish", "good", False, False, False) in progress.calls
+        assert ("finish", "bad-parse", False, False, True) in progress.calls
+        assert progress.calls[-1] == ("close",)
+
+    def test_parallel_sweep_finishes_every_item(self):
+        progress = RecordingProgress()
+        compile_many([GOOD, GOOD2], workers=2, progress=progress)
+        finished = {c[1] for c in progress.calls if c[0] == "finish"}
+        assert finished == {"good", "good2"}
+        assert progress.calls[-1] == ("close",)
+
+
+class TestTracing:
+    def test_serial_traced_sweep_builds_span_trees(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(worker="parent")
+        result = compile_many([GOOD], tracer=tracer)
+        by_name = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, span)
+        item = by_name["item:good"]
+        assert item.parent_id is None
+        compile_span = by_name["compile"]
+        assert compile_span.parent_id == item.span_id
+        # pipeline phases arrive via the PhaseTimer sink, nested inside
+        # the compile span (which is itself inside the item span)
+        phases = [s for s in tracer.spans if s.name.startswith("phase:")]
+        assert {"phase:parse", "phase:translate"} <= {s.name for s in phases}
+        assert all(s.parent_id == compile_span.span_id for s in phases)
+        assert result.items[0].phases  # seconds reported back too
+
+    def test_item_span_duration_tracks_measured_wall(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(worker="parent")
+        result = compile_many([GOOD, GOOD2], tracer=tracer)
+        spans = {
+            s.name: s for s in tracer.spans if s.name.startswith("item:")
+        }
+        for item in result.items:
+            span = spans[f"item:{item.name}"]
+            # the span wraps the same region `wall` measures; allow 10%
+            # plus a small absolute floor for sub-millisecond compiles
+            assert abs(span.duration - item.wall) <= max(
+                0.1 * item.wall, 0.005
+            )
+
+    def test_parallel_traced_sweep_writes_one_shard_per_worker(
+        self, tmp_path
+    ):
+        from repro.obs import Tracer, merge_traces, read_shard
+
+        tracer = Tracer(worker="parent")
+        with tracer.span("sweep"):
+            result = compile_many(
+                scaling_items(sizes=(4, 6, 8, 10)),
+                workers=2,
+                tracer=tracer,
+                shard_dir=tmp_path,
+            )
+        assert len(result.span_shards) == 2  # every pool process joined
+        for shard in result.span_shards:
+            header, spans = read_shard(shard)
+            assert header["trace_id"] == tracer.trace_id
+            assert header["shard"].startswith("worker-")
+        document = merge_traces(result.span_shards, parent=tracer)
+        lanes = document["otherData"]["lanes"]
+        assert lanes["0"] == "parent"
+        assert sum(
+            1 for name in lanes.values() if name.startswith("worker-")
+        ) == 2
+        item_spans = [
+            e
+            for e in document["traceEvents"]
+            if e.get("cat") == "span" and e["name"].startswith("item:")
+        ]
+        assert len(item_spans) == result.n_items
+
+    def test_traced_parallel_sweep_without_shard_dir_rejected(self):
+        from repro.obs import Tracer
+
+        # two items so the len(tasks) <= 1 serial shortcut doesn't apply
+        with pytest.raises(ReproError):
+            compile_many([GOOD, GOOD2], workers=2, tracer=Tracer())
+
+    def test_untraced_sweep_records_no_spans(self):
+        from repro.batch import sweep as sweep_module
+
+        result = compile_many([GOOD])
+        assert result.span_shards == []
+        assert sweep_module._WORKER_TRACER is None
+
+    def test_null_tracer_counts_as_tracing_off(self):
+        from repro.obs import NULL_TRACER
+
+        # falsy tracer + no shard_dir must not raise for workers > 1
+        result = compile_many(
+            [GOOD, GOOD2], workers=2, tracer=NULL_TRACER
+        )
+        assert result.span_shards == []
+
+
+class TestTimingSummary:
+    def test_lanes_and_critical_path(self):
+        result = compile_many([GOOD, GOOD2])
+        timing = result.timing_summary()
+        assert timing["n_items"] == 2
+        assert timing["busy_seconds"] > 0
+        (lane,) = timing["lanes"].values()  # serial: one lane
+        assert lane["items"] == 2
+        critical = timing["critical_path"]
+        assert critical["busy_seconds"] == pytest.approx(
+            timing["busy_seconds"]
+        )
+        assert len(critical["items"]) == 2
+        # slowest first
+        seconds = [entry["seconds"] for entry in critical["items"]]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_phase_percentiles_present_when_traced(self):
+        from repro.obs import Tracer
+
+        result = compile_many([GOOD, GOOD2], tracer=Tracer())
+        phases = result.timing_summary()["phases"]
+        assert "item" in phases
+        assert "parse" in phases
+        stats = phases["parse"]
+        assert stats["count"] == 2
+        assert stats["p50"] is not None
+        assert stats["exact_percentiles"] is True
+
+    def test_registry_gets_item_and_phase_timers(self):
+        from repro.obs import Tracer
+
+        registry = MetricsRegistry()
+        compile_many([GOOD], tracer=Tracer(), registry=registry)
+        dump = registry.dump()["timers"]
+        assert dump["sweep.item"]["count"] == 1
+        assert dump["sweep.phase.parse"]["count"] == 1
+
+
 class TestArguments:
     def test_zero_workers_rejected(self):
         with pytest.raises(ReproError):

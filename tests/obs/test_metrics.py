@@ -46,7 +46,7 @@ class TestHistogram:
         dump = Histogram("h").dump()
         assert dump == {
             "count": 0, "total": 0.0, "mean": 0.0, "min": None, "max": None,
-            "p50": None, "p95": None,
+            "p50": None, "p95": None, "exact_percentiles": True,
         }
 
 
@@ -96,6 +96,16 @@ class TestHistogramPercentiles:
         assert histogram.count == Histogram.MAX_SAMPLES + 100
         assert len(histogram._samples) == Histogram.MAX_SAMPLES
 
+    def test_overflowed_window_marks_percentiles_inexact(self):
+        histogram = Histogram("h")
+        for i in range(Histogram.MAX_SAMPLES):
+            histogram.observe(float(i))
+        assert histogram.exact_percentiles
+        assert histogram.dump()["exact_percentiles"] is True
+        histogram.observe(1.0)
+        assert not histogram.exact_percentiles
+        assert histogram.dump()["exact_percentiles"] is False
+
     def test_reset_drops_samples(self):
         histogram = Histogram("h")
         histogram.observe(1.0)
@@ -128,12 +138,89 @@ class TestRegistry:
         registry.record_time("detect", 1.0)
         registry.reset()
         assert registry.dump() == {
-            "counters": {}, "histograms": {}, "timers": {},
+            "counters": {}, "gauges": {}, "histograms": {}, "timers": {},
         }
 
     def test_default_registry_is_shared_and_disabled(self):
         assert default_registry() is default_registry()
         assert not default_registry().enabled
+
+
+class TestThreadSafety:
+    def test_concurrent_totals_are_exact(self):
+        """Counters, gauges and histograms under thread contention lose
+        nothing: totals are exact, not approximately right."""
+        import threading
+
+        registry = MetricsRegistry()
+        threads, per_thread = 8, 2500
+
+        def hammer():
+            counter = registry.counter("hits")
+            gauge = registry.gauge("level")
+            histogram = registry.histogram("obs")
+            for _ in range(per_thread):
+                counter.inc()
+                gauge.inc(2)
+                gauge.dec(1)
+                histogram.observe(1.0)
+                registry.record_time("t", 0.001)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        expected = threads * per_thread
+        assert registry.counter("hits").value == expected
+        assert registry.gauge("level").value == expected
+        dump = registry.histogram("obs").dump()
+        assert dump["count"] == expected
+        assert dump["total"] == float(expected)
+        assert registry.timer("t").count == expected
+
+    def test_concurrent_metric_creation_yields_one_instance(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("shared"))
+
+        workers = [threading.Thread(target=create) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(counter is seen[0] for counter in seen)
+        for counter in seen:
+            counter.inc()
+        assert registry.counter("shared").value == 8
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        from repro.obs import Gauge
+
+        gauge = Gauge("g")
+        assert gauge.value == 0.0
+        gauge.set(5.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 4.0
+        assert gauge.dump() == 4.0
+        gauge.reset()
+        assert gauge.value == 0.0
+
+    def test_registry_namespace_and_dump(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("x") is registry.gauge("x")
+        registry.gauge("x").set(2.5)
+        assert registry.dump()["gauges"] == {"x": 2.5}
 
 
 class TestTimed:

@@ -1,0 +1,159 @@
+"""OpenMetrics text exposition: rendering, validation, ledger bridge."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    dump_from_record,
+    parse_exposition,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("batch.cache.hit") == "batch_cache_hit"
+        assert sanitize_metric_name("detect-frustum") == "detect_frustum"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_legal_names_pass_through(self):
+        assert sanitize_metric_name("already_ok:yes") == "already_ok:yes"
+
+
+class TestRenderOpenmetrics:
+    def test_counter_family(self):
+        registry = MetricsRegistry()
+        registry.counter("batch.sweep.items").inc(6)
+        text = render_openmetrics(registry)
+        assert "# TYPE batch_sweep_items counter" in text
+        assert "batch_sweep_items_total 6" in text
+        assert text.endswith("# EOF\n")
+
+    def test_gauge_family(self):
+        registry = MetricsRegistry()
+        registry.gauge("sweep.in_flight").set(3)
+        text = render_openmetrics(registry)
+        assert "# TYPE sweep_in_flight gauge" in text
+        assert "sweep_in_flight 3" in text
+
+    def test_timer_becomes_seconds_summary(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3):
+            registry.record_time("detect", value)
+        text = render_openmetrics(registry)
+        assert "# TYPE detect_seconds summary" in text
+        assert "# UNIT detect_seconds seconds" in text
+        assert 'detect_seconds{quantile="0.5"} 0.2' in text
+        assert "detect_seconds_count 3" in text
+        assert "detect_seconds_sum" in text
+
+    def test_histogram_becomes_summary(self):
+        registry = MetricsRegistry()
+        registry.histogram("sizes").observe(4.0)
+        text = render_openmetrics(registry)
+        assert "# TYPE sizes summary" in text
+        assert 'sizes{quantile="0.95"} 4.0' in text
+
+    def test_output_always_validates(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        registry.record_time("t", 0.25)
+        families = parse_exposition(render_openmetrics(registry))
+        assert families["a_b"]["type"] == "counter"
+        assert families["g"]["type"] == "gauge"
+        assert families["h"]["type"] == "summary"
+        assert families["t_seconds"]["type"] == "summary"
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+        parse_exposition("# EOF\n")
+
+    def test_name_collisions_get_numeric_suffixes(self):
+        text = render_openmetrics(
+            {"counters": {"a.b": 1, "a_b": 2}, "gauges": {},
+             "histograms": {}, "timers": {}}
+        )
+        families = parse_exposition(text)
+        kinds = {f for f in families}
+        assert kinds == {"a_b", "a_b_2"}
+
+    def test_rejects_non_registry_input(self):
+        with pytest.raises(TypeError):
+            render_openmetrics(42)
+
+
+class TestParseExposition:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_exposition("# TYPE x counter\nx_total 1\n")
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_exposition("orphan 1\n# EOF\n")
+
+    def test_counter_sample_must_end_total(self):
+        with pytest.raises(ValueError, match="_total"):
+            parse_exposition(
+                "# TYPE x counter\n# HELP x h\nx 1\n# EOF\n"
+            )
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_exposition(
+                "# TYPE x gauge\nx one_point_five\n# EOF\n"
+            )
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            parse_exposition(
+                "# TYPE x gauge\nx 1\n# TYPE x gauge\n# EOF\n"
+            )
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            parse_exposition("# TYPE x gauge\n# EOF\n")
+
+
+class TestDumpFromRecord:
+    def test_rebuilds_counters_and_timers(self):
+        record = {
+            "timing": {
+                "metrics": {
+                    "batch.sweep.items": 6,
+                    "cache": {"hit": 3, "miss": 2},
+                    "ignored": "text",
+                },
+                "phase_wall_clock": {
+                    "parse": {"count": 2, "total": 0.5, "mean": 0.25},
+                },
+            }
+        }
+        dump = dump_from_record(record)
+        assert dump["counters"]["batch.sweep.items"] == 6
+        assert dump["counters"]["cache.hit"] == 3
+        assert dump["counters"]["cache.miss"] == 2
+        assert "ignored" not in dump["counters"]
+        assert dump["timers"]["parse"]["count"] == 2
+
+    def test_round_trips_to_valid_exposition(self):
+        record = {
+            "timing": {
+                "metrics": {"cache": {"hit": 1}},
+                "phase_wall_clock": {
+                    "sweep.total": {"count": 1, "total": 2.0, "mean": 2.0}
+                },
+            }
+        }
+        families = parse_exposition(
+            render_openmetrics(dump_from_record(record))
+        )
+        assert families["cache_hit"]["type"] == "counter"
+        assert families["sweep_total_seconds"]["type"] == "summary"
+
+    def test_record_without_timing_renders_empty(self):
+        assert render_openmetrics(dump_from_record({})) == "# EOF\n"

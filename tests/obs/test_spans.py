@@ -1,0 +1,187 @@
+"""Cross-process span tracing: Tracer, TraceContext, span shards."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanShardWriter,
+    TraceContext,
+    Tracer,
+    read_shard,
+    shard_paths,
+)
+
+
+class TestTracer:
+    def test_span_records_identity_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", item="x") as span:
+            pass
+        assert len(tracer.spans) == 1
+        done = tracer.spans[0]
+        assert done is span
+        assert done.name == "work"
+        assert done.trace_id == tracer.trace_id
+        assert done.parent_id is None
+        assert done.duration >= 0.0
+        assert done.status == "ok"
+        assert done.attributes == {"item": "x"}
+
+    def test_nested_spans_parent_correctly(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # finished innermost-first
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_exception_marks_span_errored_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("boom")
+        assert tracer.spans[0].status == "error"
+
+    def test_record_completed_backdates_start(self):
+        tracer = Tracer()
+        span = tracer.record_completed("phase:parse", 2.0)
+        assert span.duration == 2.0
+        assert span.start <= tracer.now() - 2.0 + 1e-3
+        assert tracer.spans == [span]
+
+    def test_record_completed_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("item") as item:
+            span = tracer.record_completed("phase:rate", 0.1)
+        assert span.parent_id == item.span_id
+
+    def test_clock_is_wall_aligned(self):
+        import time
+
+        tracer = Tracer()
+        assert abs(tracer.now() - time.time()) < 1.0
+
+    def test_writer_receives_finished_spans(self):
+        streamed = []
+        tracer = Tracer(writer=streamed.append)
+        with tracer.span("a"):
+            pass
+        assert [s.name for s in streamed] == ["a"]
+
+
+class TestTraceContext:
+    def test_child_tracer_joins_parents_trace(self):
+        parent = Tracer()
+        with parent.span("root") as root:
+            context = parent.make_context()
+        child = Tracer(context=context, worker="worker-1")
+        with child.span("item"):
+            pass
+        span = child.spans[0]
+        assert span.trace_id == parent.trace_id
+        assert span.parent_id == root.span_id
+        assert span.worker == "worker-1"
+
+    def test_round_trips_through_tuple(self):
+        context = TraceContext(trace_id="t", parent_id="p", handshake=1.5)
+        assert TraceContext.from_tuple(context.to_tuple()) == context
+
+    def test_span_round_trips_through_dict(self):
+        span = Span(
+            name="n",
+            trace_id="t",
+            span_id="s",
+            parent_id=None,
+            start=1.0,
+            duration=0.5,
+            worker="w",
+            status="error",
+            attributes={"k": 1},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+
+class TestNullTracer:
+    def test_is_falsy_and_disabled(self):
+        assert not NULL_TRACER
+        assert not NULL_TRACER.enabled
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_span_is_a_shared_noop(self):
+        first = NULL_TRACER.span("a")
+        second = NULL_TRACER.span("b", attr=1)
+        assert first is second
+        with first as value:
+            assert value is None
+        assert NULL_TRACER.spans == []
+
+    def test_record_completed_records_nothing(self):
+        assert NULL_TRACER.record_completed("x", 1.0) is None
+        assert NULL_TRACER.spans == []
+
+
+class TestSpanShards:
+    def test_shard_holds_header_then_spans(self, tmp_path):
+        tracer = Tracer(worker="worker-9")
+        shard = SpanShardWriter(tmp_path / "spans-9.jsonl", tracer)
+        tracer.writer = shard.write
+        with tracer.span("item"):
+            pass
+        shard.close()
+        header, spans = read_shard(tmp_path / "spans-9.jsonl")
+        assert header["shard"] == "worker-9"
+        assert header["trace_id"] == tracer.trace_id
+        assert header["wall_anchor"] == tracer.wall_anchor
+        assert [s.name for s in spans] == ["item"]
+
+    def test_reopening_does_not_duplicate_header(self, tmp_path):
+        tracer = Tracer(worker="w")
+        path = tmp_path / "spans-1.jsonl"
+        SpanShardWriter(path, tracer).close()
+        writer = SpanShardWriter(path, tracer)
+        writer.write(
+            Span("a", tracer.trace_id, "s1", None, start=0.0, duration=1.0)
+        )
+        writer.close()
+        header, spans = read_shard(path)
+        assert header["shard"] == "w"
+        assert len(spans) == 1
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        tracer = Tracer(worker="w")
+        path = tmp_path / "spans-1.jsonl"
+        shard = SpanShardWriter(path, tracer)
+        tracer.writer = shard.write
+        with tracer.span("kept"):
+            pass
+        shard.close()
+        with path.open("a") as handle:
+            handle.write('{"name": "torn", "trace_id": "t", "span')
+        header, spans = read_shard(path)
+        assert [s.name for s in spans] == ["kept"]
+
+    def test_shard_paths_are_sorted_and_filtered(self, tmp_path):
+        for name in ("spans-2.jsonl", "spans-1.jsonl", "other.jsonl"):
+            (tmp_path / name).write_text("{}\n")
+        assert [p.name for p in shard_paths(tmp_path)] == [
+            "spans-1.jsonl",
+            "spans-2.jsonl",
+        ]
+        assert shard_paths(tmp_path / "missing") == []
+
+    def test_every_span_line_is_flushed_json(self, tmp_path):
+        tracer = Tracer(worker="w")
+        shard = SpanShardWriter(tmp_path / "spans-1.jsonl", tracer)
+        tracer.writer = shard.write
+        with tracer.span("a"):
+            pass
+        # no close(): the line must already be on disk (crash durability)
+        lines = (tmp_path / "spans-1.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["name"] == "a"

@@ -1,0 +1,211 @@
+"""Merging span shards into one deterministic Chrome trace."""
+
+import json
+import random
+
+from repro.obs import (
+    Span,
+    SpanShardWriter,
+    Tracer,
+    load_merged_spans,
+    merge_traces,
+    write_trace,
+)
+
+
+def _make_shard(tmp_path, worker, spans, handshake=None, wall_anchor=None):
+    """Write one shard file by hand so clocks are fully controlled."""
+    path = tmp_path / f"spans-{worker}.jsonl"
+    header = {
+        "shard": worker,
+        "trace_id": "trace",
+        "pid": 1,
+        "handshake": handshake if handshake is not None else 100.0,
+        "wall_anchor": wall_anchor if wall_anchor is not None else 100.0,
+    }
+    with path.open("w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for span in spans:
+            handle.write(json.dumps(span.to_dict()) + "\n")
+    return path
+
+
+def _span(name, span_id, start, duration, worker, parent_id=None):
+    return Span(
+        name=name,
+        trace_id="trace",
+        span_id=span_id,
+        parent_id=parent_id,
+        start=start,
+        duration=duration,
+        worker=worker,
+    )
+
+
+class TestMergeTraces:
+    def test_one_lane_per_worker_plus_parent(self, tmp_path):
+        parent = Tracer(worker="parent")
+        with parent.span("sweep"):
+            pass
+        shards = [
+            _make_shard(
+                tmp_path, w, [_span("item", f"s{w}", 100.5, 0.2, w)]
+            )
+            for w in ("worker-2", "worker-1")
+        ]
+        document = merge_traces(shards, parent=parent)
+        lanes = document["otherData"]["lanes"]
+        # parent is pid 0; workers follow in label order, not file order
+        assert lanes == {
+            "0": "parent",
+            "1": "worker-1",
+            "2": "worker-2",
+        }
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {(0, "parent"), (1, "worker-1"), (2, "worker-2")}
+        assert document["otherData"]["trace_id"] == parent.trace_id
+
+    def test_merge_is_deterministic_across_shard_order(self, tmp_path):
+        shards = []
+        for w in range(4):
+            spans = [
+                _span(f"item-{w}-{i}", f"s{w}{i}", 100.0 + i * 0.01, 0.005, f"worker-{w}")
+                for i in range(5)
+            ]
+            shards.append(_make_shard(tmp_path, f"worker-{w}", spans))
+        outputs = set()
+        for seed in range(4):
+            shuffled = list(shards)
+            random.Random(seed).shuffle(shuffled)
+            target = tmp_path / f"merged-{seed}.json"
+            write_trace(merge_traces(shuffled), target)
+            outputs.add(target.read_bytes())
+        assert len(outputs) == 1
+
+    def test_clock_skew_shifts_early_workers_forward(self, tmp_path):
+        # worker clock reads 10s *before* the handshake it received:
+        # causally impossible, so its spans shift forward by 10s
+        skewed = _make_shard(
+            tmp_path,
+            "worker-skewed",
+            [_span("item", "s1", 90.0, 1.0, "worker-skewed")],
+            handshake=100.0,
+            wall_anchor=90.0,
+        )
+        honest = _make_shard(
+            tmp_path,
+            "worker-honest",
+            [_span("item", "s2", 100.0, 1.0, "worker-honest")],
+            handshake=100.0,
+            wall_anchor=100.0,
+        )
+        document = merge_traces([skewed, honest])
+        ts = {
+            e["args"]["span_id"]: e["ts"]
+            for e in document["traceEvents"]
+            if e.get("cat") == "span"
+        }
+        assert ts["s1"] == ts["s2"]  # both land at the handshake instant
+
+    def test_late_worker_clocks_are_left_alone(self, tmp_path):
+        # clock ahead of the handshake is indistinguishable from real
+        # dispatch latency: no shift
+        shard = _make_shard(
+            tmp_path,
+            "worker-late",
+            [_span("item", "s1", 105.0, 1.0, "worker-late")],
+            handshake=100.0,
+            wall_anchor=105.0,
+        )
+        document = merge_traces([shard], time_origin=100.0)
+        (event,) = [
+            e for e in document["traceEvents"] if e.get("cat") == "span"
+        ]
+        assert event["ts"] == 5_000_000
+
+    def test_timestamps_are_relative_microseconds(self, tmp_path):
+        shard = _make_shard(
+            tmp_path,
+            "worker-1",
+            [
+                _span("a", "s1", 100.0, 0.25, "worker-1"),
+                _span("b", "s2", 100.5, 0.125, "worker-1"),
+            ],
+        )
+        document = merge_traces([shard])
+        spans = {
+            e["args"]["span_id"]: e
+            for e in document["traceEvents"]
+            if e.get("cat") == "span"
+        }
+        assert spans["s1"]["ts"] == 0
+        assert spans["s1"]["dur"] == 250_000
+        assert spans["s2"]["ts"] == 500_000
+        assert spans["s2"]["dur"] == 125_000
+        assert document["otherData"]["time_origin_unix"] == 100.0
+
+    def test_parents_sort_before_children_at_equal_ts(self, tmp_path):
+        shard = _make_shard(
+            tmp_path,
+            "worker-1",
+            [
+                _span("child", "s2", 100.0, 0.1, "worker-1", parent_id="s1"),
+                _span("parent", "s1", 100.0, 0.5, "worker-1"),
+            ],
+        )
+        document = merge_traces([shard])
+        names = [
+            e["name"]
+            for e in document["traceEvents"]
+            if e.get("cat") == "span"
+        ]
+        assert names == ["parent", "child"]
+
+    def test_truncated_shard_still_merges(self, tmp_path):
+        tracer = Tracer(worker="worker-1")
+        shard = SpanShardWriter(tmp_path / "spans-1.jsonl", tracer)
+        tracer.writer = shard.write
+        with tracer.span("kept"):
+            pass
+        with (tmp_path / "spans-1.jsonl").open("a") as handle:
+            handle.write('{"name": "torn"')  # killed mid-write
+        document = merge_traces(tmp_path)
+        names = [
+            e["name"]
+            for e in document["traceEvents"]
+            if e.get("cat") == "span"
+        ]
+        assert names == ["kept"]
+
+    def test_load_merged_spans_round_trip(self, tmp_path):
+        shard = _make_shard(
+            tmp_path,
+            "worker-1",
+            [_span("item", "s1", 100.0, 0.5, "worker-1")],
+        )
+        target = tmp_path / "merged.json"
+        write_trace(merge_traces([shard]), target)
+        spans = load_merged_spans(target)
+        assert [s["name"] for s in spans] == ["item"]
+        assert spans[0]["args"]["span_id"] == "s1"
+
+    def test_load_merged_spans_tolerates_truncation(self, tmp_path):
+        shard = _make_shard(
+            tmp_path,
+            "worker-1",
+            [
+                _span("a", "s1", 100.0, 0.5, "worker-1"),
+                _span("b", "s2", 101.0, 0.5, "worker-1"),
+            ],
+        )
+        target = tmp_path / "merged.json"
+        write_trace(merge_traces([shard]), target)
+        text = target.read_text()
+        # cut the document mid-way through the second span object
+        target.write_text(text[: text.rindex('"s2"')])
+        spans = load_merged_spans(target)
+        assert [s["name"] for s in spans] == ["a"]

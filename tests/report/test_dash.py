@@ -135,3 +135,69 @@ class TestTrends:
         ]
         html = render(l2_dash, history=history)
         assert "Cycle time across commits" in html
+
+
+class TestSweepCard:
+    @staticmethod
+    def sweep_record(sha, lanes, critical, phases=None):
+        return {
+            "kind": "sweep",
+            "name": "sweep",
+            "git_sha": sha,
+            "timing": {
+                "spans": {
+                    "n_items": sum(l["items"] for l in lanes.values()),
+                    "lanes": lanes,
+                    "critical_path": {"worker": critical},
+                    "phases": phases or {},
+                }
+            },
+        }
+
+    def test_no_card_without_sweep_history(self, l2_dash):
+        html = render(l2_dash)
+        assert "Sweep lanes" not in html
+
+    def test_latest_record_with_lanes_wins(self, l2_dash):
+        pn, attribution, schedule, occupancy = l2_dash
+        old = self.sweep_record(
+            "a" * 40, {"worker-1": {"items": 2, "busy_seconds": 0.5}}, "worker-1"
+        )
+        new = self.sweep_record(
+            "b" * 40,
+            {
+                "worker-1": {"items": 3, "busy_seconds": 0.9},
+                "worker-2": {"items": 1, "busy_seconds": 0.2},
+            },
+            "worker-1",
+            phases={
+                "parse": {
+                    "count": 4,
+                    "p50": 0.001,
+                    "p95": 0.002,
+                    "exact_percentiles": True,
+                },
+                "compile": {
+                    "count": 4,
+                    "p50": 0.1,
+                    "p95": 0.2,
+                    "exact_percentiles": False,
+                },
+            },
+        )
+        html = render_dash(
+            loop_name="L2",
+            attribution=attribution,
+            schedule=schedule,
+            durations=pn.durations,
+            occupancy=occupancy,
+            git_sha="deadbeefcafe",
+            sweep_history=[old, new],
+        )
+        assert "Sweep lanes" in html
+        assert "bbbbbbb" in html and "aaaaaaa" not in html
+        # critical lane marked, both lanes listed
+        assert "worker-1 ●" in html and "worker-2" in html
+        # inexact percentiles carry the ~ marker, exact ones don't
+        assert "~0.100000" in html
+        assert "~0.001000" not in html and "0.001000" in html

@@ -583,6 +583,162 @@ class TestSweep:
         status, _ = run(["sweep", manifest, "--workers", "0"])
         assert status == 1
 
+    def test_trace_writes_lint_clean_merged_trace(self, manifest, tmp_path):
+        import json
+        import sys
+
+        sys.path.insert(0, "tools")
+        try:
+            from trace_lint import lint_trace
+        finally:
+            sys.path.remove("tools")
+
+        trace = tmp_path / "sweep.trace.json"
+        status, text = run(
+            [
+                "sweep",
+                manifest,
+                "--no-cache",
+                "--workers",
+                "2",
+                "--no-progress",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert status == 0
+        assert "wrote merged trace" in text
+        assert "critical path:" in text
+        assert "phase percentiles" in text
+        assert lint_trace(trace, require_lanes=2, strict=True) == []
+        document = json.loads(trace.read_text())
+        lanes = document["otherData"]["lanes"]
+        assert lanes["0"] == "parent"
+        workers = [n for n in lanes.values() if n.startswith("worker-")]
+        assert len(workers) == 2
+
+    def test_serial_trace_has_parent_lane_only(self, manifest, tmp_path):
+        import json
+
+        trace = tmp_path / "serial.trace.json"
+        status, _ = run(
+            ["sweep", manifest, "--no-cache", "--no-progress",
+             "--trace", str(trace)]
+        )
+        assert status == 0
+        document = json.loads(trace.read_text())
+        assert document["otherData"]["lanes"] == {"0": "parent"}
+        items = [
+            e for e in document["traceEvents"]
+            if e.get("cat") == "span" and e["name"].startswith("item:")
+        ]
+        assert len(items) == 2
+
+    def test_metrics_out_is_valid_openmetrics(self, manifest, tmp_path):
+        from repro.obs import parse_exposition
+
+        target = tmp_path / "metrics.txt"
+        status, text = run(
+            ["sweep", manifest, "--no-cache", "--metrics-out", str(target)]
+        )
+        assert status == 0
+        assert "wrote OpenMetrics exposition" in text
+        families = parse_exposition(target.read_text())
+        assert "batch_sweep_items" in families
+
+    def test_ledger_record_carries_span_summary(self, manifest, tmp_path):
+        from repro.obs import load_records
+
+        ledger = tmp_path / "ledger"
+        status, _ = run(["sweep", manifest, "--ledger", str(ledger)])
+        assert status == 0
+        record = load_records(ledger / "runs.jsonl")[-1]
+        spans = record["timing"]["spans"]
+        assert spans["n_items"] == 2
+        assert spans["critical_path"]["items"]
+        assert "payload" not in spans  # volatile section only
+
+    def test_require_hits_lists_only_ok_misses(self, tmp_path):
+        import json
+
+        path = tmp_path / "mixed.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"name": "ok", "source": L1_SOURCE, "include_io": False},
+                    {"name": "broken", "source": "not a loop"},
+                ]
+            )
+        )
+        cache = tmp_path / "cache"
+        run(["sweep", str(path), "--cache-dir", str(cache)])  # warm ok item
+        status, _ = run(
+            ["sweep", str(path), "--cache-dir", str(cache), "--require-hits"]
+        )
+        # the ok item hits; only the error keeps the exit non-zero, not
+        # an unsatisfiable --require-hits over the never-cached failure
+        assert status == 1
+
+
+class TestMetricsCommand:
+    def _ledger_with_sweep(self, tmp_path):
+        import json
+
+        manifest = tmp_path / "m.json"
+        manifest.write_text(
+            json.dumps(
+                [{"name": "l1", "source": L1_SOURCE, "include_io": False}]
+            )
+        )
+        ledger = tmp_path / "ledger"
+        status, _ = run(
+            ["sweep", str(manifest), "--no-cache", "--ledger", str(ledger)]
+        )
+        assert status == 0
+        return ledger / "runs.jsonl"
+
+    def test_renders_latest_record(self, tmp_path):
+        from repro.obs import parse_exposition
+
+        runs = self._ledger_with_sweep(tmp_path)
+        status, text = run(["metrics", "--from-ledger", str(runs)])
+        assert status == 0
+        families = parse_exposition(text)
+        assert "sweep_total_seconds" in families
+
+    def test_name_filter_and_output_file(self, tmp_path):
+        from repro.obs import parse_exposition
+
+        runs = self._ledger_with_sweep(tmp_path)
+        target = tmp_path / "exposition.txt"
+        status, text = run(
+            [
+                "metrics",
+                "--from-ledger",
+                str(runs),
+                "--name",
+                "sweep:m",
+                "-o",
+                str(target),
+            ]
+        )
+        assert status == 0
+        assert "wrote OpenMetrics exposition" in text
+        parse_exposition(target.read_text())
+
+    def test_unknown_name_errors(self, tmp_path):
+        runs = self._ledger_with_sweep(tmp_path)
+        status, _ = run(
+            ["metrics", "--from-ledger", str(runs), "--name", "nope"]
+        )
+        assert status == 1
+
+    def test_missing_ledger_errors(self, tmp_path):
+        status, _ = run(
+            ["metrics", "--from-ledger", str(tmp_path / "none.jsonl")]
+        )
+        assert status == 1
+
 
 def pathlib_cwd():
     import pathlib

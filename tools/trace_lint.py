@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate a merged Chrome/Perfetto span trace (the CI trace gate).
+
+``repro sweep --trace`` writes the merged cross-process trace of a
+sweep; this linter checks that the file is something a trace viewer —
+and our own tooling — can actually use:
+
+* the document parses (truncation is tolerated, like Chrome's loader,
+  but is reported and fails under ``--strict``);
+* every event carries the required trace-event fields for its phase
+  type, with sane types (integer ``ts``/``dur``, non-negative ``dur``);
+* every ``pid`` that owns span slices has ``process_name`` metadata
+  (the lane is labeled), and the ``otherData.lanes`` table agrees;
+* span slices carry the identity triple (``args.span_id``, a
+  ``parent_id`` key, ``status``) and share one ``trace_id`` when the
+  document declares one;
+* non-metadata events are sorted by ``(ts, pid)`` — the determinism
+  contract of :func:`repro.obs.trace_merge.merge_traces`;
+* with ``--require-lanes N``: at least N lanes are named ``worker-*``
+  (one per sweep worker; the parent lane does not count).
+
+Usage: ``python tools/trace_lint.py TRACE.json [--require-lanes N]
+[--strict]``.  Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.trace import load_trace_events  # noqa: E402
+
+#: Fields every trace event must carry, by phase type.
+_REQUIRED_COMMON = ("name", "ph", "pid")
+
+
+def lint_trace(path, require_lanes=0, strict=False):
+    """Return a list of violation strings (empty = clean)."""
+    problems = []
+    try:
+        events, truncated = load_trace_events(path)
+    except (OSError, UnicodeDecodeError) as error:
+        return [f"unreadable trace: {error}"]
+    if truncated:
+        message = "document is truncated (recovered complete events only)"
+        if strict:
+            problems.append(message)
+        else:
+            print(f"note: {message}", file=sys.stderr)
+    if not events:
+        return problems + ["trace holds no events"]
+
+    lane_names = {}
+    span_pids = set()
+    last_key = None
+    for index, event in enumerate(events):
+        where = f"event #{index}"
+        for field in _REQUIRED_COMMON:
+            if field not in event:
+                problems.append(f"{where}: missing field {field!r}")
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                lane_names[event.get("pid")] = (
+                    event.get("args", {}).get("name")
+                )
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int):
+            problems.append(f"{where}: non-integer ts {ts!r}")
+            continue
+        key = (ts, event.get("pid", 0))
+        if last_key is not None and key < last_key:
+            problems.append(
+                f"{where}: out of order — (ts, pid) {key} after {last_key}"
+            )
+        last_key = key
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if event.get("cat") == "span":
+            span_pids.add(event.get("pid"))
+            args = event.get("args", {})
+            if not args.get("span_id"):
+                problems.append(f"{where}: span slice without span_id")
+            if "parent_id" not in args:
+                problems.append(f"{where}: span slice without parent_id key")
+            if "status" not in args:
+                problems.append(f"{where}: span slice without status")
+
+    for pid in sorted(span_pids, key=str):
+        if pid not in lane_names:
+            problems.append(f"pid {pid} owns spans but has no process_name")
+
+    # otherData checks need the full document; skip them for truncated
+    # or bare-array traces, where otherData never made it to disk.
+    document = _full_document(path)
+    if document is not None:
+        other = document.get("otherData", {})
+        declared = other.get("lanes")
+        if isinstance(declared, dict):
+            actual = {str(pid): name for pid, name in lane_names.items()}
+            if declared != actual:
+                problems.append(
+                    f"otherData.lanes {declared} disagrees with "
+                    f"process_name metadata {actual}"
+                )
+        if span_pids and not other.get("trace_id"):
+            problems.append("merged span trace without otherData.trace_id")
+
+    if require_lanes:
+        workers = [
+            name
+            for name in lane_names.values()
+            if isinstance(name, str) and name.startswith("worker-")
+        ]
+        if len(workers) < require_lanes:
+            problems.append(
+                f"expected >= {require_lanes} worker lane(s), found "
+                f"{len(workers)}: {sorted(workers)}"
+            )
+    return problems
+
+
+def _full_document(path):
+    import json
+
+    try:
+        document = json.loads(
+            pathlib.Path(path).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="merged Chrome trace file to lint")
+    parser.add_argument(
+        "--require-lanes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fail unless >= N lanes are named worker-*",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat a truncated document as a failure",
+    )
+    args = parser.parse_args(argv)
+    problems = lint_trace(
+        args.trace, require_lanes=args.require_lanes, strict=args.strict
+    )
+    if problems:
+        for problem in problems:
+            print(f"{args.trace}: {problem}", file=sys.stderr)
+        print(f"{len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: trace is lint-clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
