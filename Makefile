@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke sweep-smoke trace-smoke doctest linkcheck bench bench-check baseline dash clean
+.PHONY: verify test smoke sweep-smoke trace-smoke explain-smoke doctest linkcheck bench bench-check baseline dash clean
 
-verify: test doctest linkcheck smoke sweep-smoke trace-smoke
+verify: test doctest linkcheck smoke sweep-smoke trace-smoke explain-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -43,6 +43,22 @@ trace-smoke:
 		parse_exposition(pathlib.Path('/tmp/sweep.metrics.txt').read_text()); \
 		print('/tmp/sweep.metrics.txt: exposition is valid OpenMetrics')"
 
+# causal blame end to end: the observed critical path must match a
+# structural critical cycle, the flow trace must be lint-clean, and the
+# wait-state exposition must parse as OpenMetrics
+explain-smoke:
+	$(PYTHON) -m repro explain examples/l1.loop --abstract \
+		-o /tmp/explain.l1.txt \
+		--trace /tmp/explain.flow.json --metrics-out /tmp/explain.metrics.txt
+	grep -q "matches a structural critical cycle\|matches the Howard witness" \
+		/tmp/explain.l1.txt
+	$(PYTHON) -m repro explain examples/l2.loop --abstract -o /tmp/explain.l2.txt
+	grep -q "matches the Howard witness" /tmp/explain.l2.txt
+	$(PYTHON) tools/trace_lint.py /tmp/explain.flow.json --strict
+	$(PYTHON) -c "import pathlib; from repro.obs import parse_exposition; \
+		parse_exposition(pathlib.Path('/tmp/explain.metrics.txt').read_text()); \
+		print('/tmp/explain.metrics.txt: exposition is valid OpenMetrics')"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
@@ -62,4 +78,6 @@ clean:
 	rm -f /tmp/l1.trace.json /tmp/l2.trace.jsonl /tmp/l1.dash.html /tmp/l2.dash.html
 	rm -rf /tmp/repro-sweep-cache /tmp/sweep.cold.json /tmp/sweep.warm.json
 	rm -f /tmp/sweep.trace.json /tmp/sweep.metrics.txt
+	rm -f /tmp/explain.flow.json /tmp/explain.metrics.txt
+	rm -f /tmp/explain.l1.txt /tmp/explain.l2.txt
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

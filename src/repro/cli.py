@@ -13,6 +13,12 @@ Commands
 ``dot``       emit Graphviz DOT for the dataflow graph or the SDSP-PN;
 ``trace``     record the behavior-graph simulation as a structured
               trace (Chrome/Perfetto or JSONL);
+``explain``   causal blame: rebuild the enabling DAG of a run, report
+              the observed critical path (checked against the
+              structural critical cycles), the per-transition
+              wait-state decomposition and the blame chain
+              (``--json`` for machine output, ``--trace`` for a
+              Chrome trace with flow arrows);
 ``dash``      write the self-contained HTML bottleneck-attribution
               dashboard (kernel timeline, slack/utilization, token
               occupancy, ledger trends);
@@ -167,6 +173,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="trace the SDSP-SCP-PN of an N-stage clean pipeline instead",
+    )
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="causal blame: observed critical path and wait states",
+    )
+    add_common(explain)
+    explain.add_argument(
+        "--stages",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explain the SDSP-SCP-PN of an N-stage clean pipeline instead",
+    )
+    explain.add_argument(
+        "--periods",
+        type=int,
+        default=3,
+        metavar="K",
+        help=(
+            "steady-state periods to simulate past the detected frustum "
+            "so blame walks stay clear of the transient (default 3)"
+        ),
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full report as JSON instead of text",
+    )
+    explain.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    explain.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "also write the enabling DAG as a Chrome trace with flow "
+            "arrows (one lane per transition, one arrow per consumed "
+            "token) to FILE"
+        ),
+    )
+    explain.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the wait-state decomposition in OpenMetrics text "
+            "exposition format to FILE ('-' for stdout)"
+        ),
     )
 
     dash = subparsers.add_parser(
@@ -569,6 +630,62 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
             "(1 trace us = 1 simulator cycle)",
             file=out,
         )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    """Causal blame for one run: re-simulate with provenance tracing,
+    rebuild the enabling DAG, and report the observed critical path,
+    the wait-state decomposition and the blame chain."""
+    import pathlib
+
+    from .core.blame import (
+        blame_summary,
+        explain_compiled,
+        wait_metrics_dump,
+        write_flow_trace,
+    )
+
+    if args.periods < 1:
+        raise ReproError(f"--periods must be >= 1, got {args.periods}")
+    result = _compile(args, stages=args.stages)
+    report = explain_compiled(result, periods=args.periods)
+
+    if args.as_json:
+        from .obs import stable_json
+
+        text = stable_json(report.to_payload(), indent=2) + "\n"
+    else:
+        text = report.render_text() + "\n"
+    if args.output is not None:
+        pathlib.Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote explain report to {args.output}", file=out)
+    else:
+        out.write(text)
+
+    if args.trace is not None:
+        write_flow_trace(report, args.trace)
+        print(
+            f"wrote flow trace to {args.trace} (open in chrome://tracing "
+            "or https://ui.perfetto.dev; 1 trace us = 1 simulator cycle)",
+            file=out,
+        )
+    if args.metrics_out is not None:
+        from .obs import render_openmetrics
+
+        exposition = render_openmetrics(wait_metrics_dump(report))
+        if args.metrics_out == "-":
+            out.write(exposition)
+        else:
+            pathlib.Path(args.metrics_out).write_text(
+                exposition, encoding="utf-8"
+            )
+            print(
+                f"wrote OpenMetrics exposition to {args.metrics_out}",
+                file=out,
+            )
+    if getattr(args, "ledger", None) is not None:
+        args.ledger_blame = blame_summary(report)
     return 0
 
 
@@ -1010,6 +1127,7 @@ def _append_ledger_record(args: argparse.Namespace, argv, out) -> None:
         command=list(argv) if argv is not None else sys.argv[1:],
         phase_wall_clock=snapshot["timers"],
         metrics=snapshot["counters"],
+        blame=getattr(args, "ledger_blame", None),
     )
     path = append_record(directory / RUNS_FILE, record)
     print(f"appended run record to {path}", file=out)
@@ -1021,6 +1139,7 @@ _COMMANDS = {
     "storage": _cmd_storage,
     "dot": _cmd_dot,
     "trace": _cmd_trace,
+    "explain": _cmd_explain,
     "dash": _cmd_dash,
     "sweep": _cmd_sweep,
     "metrics": _cmd_metrics,

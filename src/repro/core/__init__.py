@@ -1,13 +1,25 @@
 """The paper's core contribution: SDSP formalism, SDSP-PN and
 SDSP-SCP-PN construction, cyclic-frustum post-processing, schedule
 derivation, rate/bound analysis, schedule verification, storage
-optimisation and bottleneck attribution."""
+optimisation, bottleneck attribution and causal blame
+(:mod:`repro.core.blame` — the engine behind ``repro explain``)."""
 
 from .attribution import (
     AttributionReport,
     TransitionAttribution,
     attribute_bottlenecks,
     place_occupancy,
+)
+from .blame import (
+    BLAME_SCHEMA_VERSION,
+    ExplainReport,
+    ObservedCycle,
+    blame_summary,
+    classifier_for,
+    explain_compiled,
+    observed_critical_path,
+    windowed_cycle_times,
+    write_flow_trace,
 )
 from .sdsp import AckArc, Sdsp
 from .sdsp_pn import SdspPetriNet, build_sdsp_pn
@@ -90,4 +102,13 @@ __all__ = [
     "balancing_ratios",
     "optimize_storage",
     "verify_allocation",
+    "BLAME_SCHEMA_VERSION",
+    "ExplainReport",
+    "ObservedCycle",
+    "blame_summary",
+    "classifier_for",
+    "explain_compiled",
+    "observed_critical_path",
+    "windowed_cycle_times",
+    "write_flow_trace",
 ]

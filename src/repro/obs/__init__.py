@@ -22,7 +22,12 @@ gives the performance work a measurement substrate:
   ``perf_counter`` timers with a ``@timed`` decorator and a
   JSON-dumpable registry;
 * :mod:`repro.obs.openmetrics` — OpenMetrics text exposition of any
-  registry (``repro sweep --metrics-out``, ``repro metrics``);
+  registry (``repro sweep --metrics-out``, ``repro metrics``), with
+  spec-compliant label-value escaping;
+* :mod:`repro.obs.causality` — the enabling DAG of a traced run (one
+  node per firing, one edge per consumed token) plus the wait-state
+  decomposition; the substrate of ``repro explain``
+  (:mod:`repro.core.blame`);
 * :mod:`repro.obs.logging_setup` — stdlib logging wiring with a
   ``REPRO_LOG`` environment override;
 * :mod:`repro.obs.schema` / :mod:`repro.obs.ledger` — the normalized,
@@ -56,6 +61,14 @@ from .events import (
     PhaseTimer,
     StateSnapshot,
 )
+from .causality import (
+    EnablingDag,
+    EnablingEdge,
+    Firing,
+    WaitProfile,
+    build_enabling_dag,
+    wait_profiles,
+)
 from .logging_setup import logging_setup
 from .metrics import (
     Counter,
@@ -68,7 +81,10 @@ from .metrics import (
 )
 from .openmetrics import (
     dump_from_record,
+    escape_label_value,
+    format_labels,
     parse_exposition,
+    parse_labels,
     render_openmetrics,
     sanitize_metric_name,
 )
@@ -128,6 +144,15 @@ __all__ = [
     "dump_from_record",
     "parse_exposition",
     "sanitize_metric_name",
+    "escape_label_value",
+    "format_labels",
+    "parse_labels",
+    "EnablingDag",
+    "EnablingEdge",
+    "Firing",
+    "WaitProfile",
+    "build_enabling_dag",
+    "wait_profiles",
     "Event",
     "EventSink",
     "FiringStarted",

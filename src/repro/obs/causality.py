@@ -1,0 +1,409 @@
+"""The enabling DAG: causal structure reconstructed from firing events.
+
+The paper's argument is causal — under the earliest firing rule every
+firing starts exactly when its last constraint is satisfied, and the
+achieved rate is pinned to the critical cycle ``C*`` those constraints
+trace out.  This module materializes that structure from the event
+stream both simulation engines emit:
+
+* one :class:`Firing` node per behavior-graph transition instance
+  (from ``FiringStarted``);
+* one :class:`EnablingEdge` per consumed token (from the
+  ``FiringStarted.consumed`` provenance), annotated with the edge
+  *kind* — forward data, feedback data, acknowledgement, or the SCP
+  run-place/resource token — and the *slack* between token arrival and
+  firing start;
+* one implicit ``"self"`` edge per consecutive firing pair of the same
+  transition — Assumption A.6.1's non-reentrance constraint (the
+  paper's implicit one-token self-loop).
+
+A firing's **binding edge** is its last-arriving constraint (slack 0
+in steady state); walking binding edges backward yields the observed
+critical path, which :mod:`repro.core.blame` compares against the
+structural critical cycles of :mod:`repro.petrinet.analysis` /
+:mod:`repro.petrinet.howard`.
+
+:func:`wait_profiles` decomposes every transition's timeline into
+executing / data-wait / feedback-wait / ack-wait / resource-wait /
+idle components.  The decomposition *tiles* the simulated horizon: for
+each transition the components sum exactly to the total simulated
+time, a property the test suite asserts with hypothesis-generated
+nets.
+
+>>> from repro.obs.events import FiringStarted, FiringCompleted
+>>> events = [
+...     FiringStarted(0, "a", 2, (("q", 0, ""),)),
+...     FiringCompleted(2, "a", 2),
+...     FiringStarted(2, "b", 1, (("p", 2, "a"),)),
+...     FiringCompleted(3, "b", 1),
+... ]
+>>> dag = build_enabling_dag(events)
+>>> edge = dag.binding_edge(dag.firings[1])
+>>> (edge.place, edge.source.transition, edge.slack)
+('p', 'a', 0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .events import Event, FiringCompleted, FiringStarted
+from .metrics import Histogram
+
+__all__ = [
+    "EDGE_DATA",
+    "EDGE_FEEDBACK",
+    "EDGE_ACK",
+    "EDGE_RESOURCE",
+    "EDGE_SELF",
+    "WAIT_KINDS",
+    "Firing",
+    "EnablingEdge",
+    "EnablingDag",
+    "WaitProfile",
+    "build_enabling_dag",
+    "default_classifier",
+    "wait_profiles",
+]
+
+#: Edge kinds: the four token flavours of the SDSP(-SCP)-PN plus the
+#: implicit non-reentrance constraint.
+EDGE_DATA = "data"
+EDGE_FEEDBACK = "feedback"
+EDGE_ACK = "ack"
+EDGE_RESOURCE = "resource"
+EDGE_SELF = "self"
+
+#: Wait-state categories a firing can be blocked on, in report order.
+WAIT_KINDS = (EDGE_DATA, EDGE_FEEDBACK, EDGE_ACK, EDGE_RESOURCE, EDGE_SELF)
+
+
+@dataclass(frozen=True)
+class Firing:
+    """One transition instance: ``transition`` started at ``start`` and
+    occupied ``duration`` cycles; ``index`` counts this transition's
+    firings from 0."""
+
+    transition: str
+    start: int
+    duration: int
+    index: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+    @property
+    def label(self) -> str:
+        """Human-readable instance name, e.g. ``E@14``."""
+        return f"{self.transition}@{self.start}"
+
+
+@dataclass(frozen=True)
+class EnablingEdge:
+    """One enabling constraint of ``target``.
+
+    For token edges, ``place`` names the place the token crossed,
+    ``arrival`` is its birth time and ``source`` the firing whose
+    completion deposited it (``None`` for initial-marking tokens).
+    For the implicit ``"self"`` edge, ``place`` is ``None``, ``source``
+    is the previous firing of the same transition and ``arrival`` its
+    completion time.  ``slack = target.start - arrival``; the binding
+    (last-arriving) edge of a firing has the minimum slack.
+    """
+
+    target: Firing
+    kind: str
+    arrival: int
+    slack: int
+    place: Optional[str] = None
+    source: Optional[Firing] = None
+
+    def describe(self) -> str:
+        """One line of a causal chain, e.g.
+        ``E@4 <- data d[C.0->E.0] from C@3 (arrival 4, slack 0)``."""
+        if self.kind == EDGE_SELF:
+            origin = (
+                f"non-reentrance after {self.source.label}"
+                if self.source is not None
+                else "non-reentrance"
+            )
+        else:
+            born = (
+                f"from {self.source.label}"
+                if self.source is not None
+                else "from the initial marking"
+            )
+            origin = f"{self.kind} {self.place} {born}"
+        return (
+            f"{self.target.label} <- {origin} "
+            f"(arrival {self.arrival}, slack {self.slack})"
+        )
+
+
+def default_classifier(place: str) -> str:
+    """Name-based edge-kind heuristic for streams replayed without the
+    net at hand: SDSP ack places are ``a[...]``, the SCP run place is
+    ``p_run``, everything else is forward data.  Feedback places can
+    only be told apart from forward data with the initial marking — use
+    :func:`repro.core.blame.classifier_for` when the net is available.
+    """
+    if place == "p_run":
+        return EDGE_RESOURCE
+    if place.startswith("a["):
+        return EDGE_ACK
+    return EDGE_DATA
+
+
+class EnablingDag:
+    """The enabling DAG of one run: time-ordered :attr:`firings`, the
+    in-edges of each, and the simulated ``horizon`` (the latest firing
+    completion, i.e. the makespan the wait decomposition tiles)."""
+
+    def __init__(
+        self,
+        firings: List[Firing],
+        edges: Dict[Firing, Tuple[EnablingEdge, ...]],
+        horizon: int,
+    ) -> None:
+        self.firings = firings
+        self.edges = edges
+        self.horizon = horizon
+        self.by_transition: Dict[str, List[Firing]] = {}
+        for firing in firings:
+            self.by_transition.setdefault(firing.transition, []).append(firing)
+
+    def in_edges(self, firing: Firing) -> Tuple[EnablingEdge, ...]:
+        return self.edges.get(firing, ())
+
+    def binding_edge(self, firing: Firing) -> Optional[EnablingEdge]:
+        """The last-arriving constraint of ``firing`` — the edge a blame
+        query walks.  Ties prefer token edges over the implicit self
+        edge (a token names a cause, non-reentrance merely repeats the
+        transition), then break deterministically by place name."""
+        candidates = self.edges.get(firing, ())
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda e: (e.arrival, e.kind != EDGE_SELF, e.place or ""),
+        )
+
+    def blame_chain(
+        self, firing: Firing, limit: int = 64
+    ) -> List[EnablingEdge]:
+        """Walk binding edges backward from ``firing``: the causal chain
+        of last-arriving tokens.  Stops at an initial-marking token, at
+        time 0, or after ``limit`` hops."""
+        chain: List[EnablingEdge] = []
+        node = firing
+        while len(chain) < limit:
+            edge = self.binding_edge(node)
+            if edge is None:
+                break
+            chain.append(edge)
+            if edge.source is None:
+                break
+            node = edge.source
+        return chain
+
+    def last_firing(self) -> Optional[Firing]:
+        """The latest firing of the run (ties broken by transition name
+        so blame queries are deterministic)."""
+        if not self.firings:
+            return None
+        return max(self.firings, key=lambda f: (f.start, f.transition))
+
+
+def build_enabling_dag(
+    events: Iterable[Event],
+    classify: Optional[Callable[[str], str]] = None,
+) -> EnablingDag:
+    """Reconstruct the enabling DAG from an instrumented run's event
+    stream (both engines emit identical streams).
+
+    ``classify`` maps a place name to an edge kind; the default is the
+    name-based :func:`default_classifier`.  Events other than
+    ``FiringStarted``/``FiringCompleted`` are ignored, and firings
+    without ``consumed`` provenance contribute nodes but no token
+    edges.
+    """
+    if classify is None:
+        classify = default_classifier
+    firings: List[Firing] = []
+    edges: Dict[Firing, Tuple[EnablingEdge, ...]] = {}
+    last: Dict[str, Firing] = {}
+    counts: Dict[str, int] = {}
+    in_flight: Dict[str, Firing] = {}
+    completions: Dict[Tuple[str, int], Firing] = {}
+    horizon = 0
+    for event in events:
+        if isinstance(event, FiringCompleted):
+            node = in_flight.pop(event.transition, None)
+            if node is not None:
+                # non-reentrance: at most one completion per
+                # (transition, time), so the key is unambiguous
+                completions[(event.transition, event.time)] = node
+        elif isinstance(event, FiringStarted):
+            index = counts.get(event.transition, 0)
+            counts[event.transition] = index + 1
+            node = Firing(event.transition, event.time, event.duration, index)
+            in_edges: List[EnablingEdge] = []
+            previous = last.get(event.transition)
+            if previous is not None:
+                in_edges.append(
+                    EnablingEdge(
+                        target=node,
+                        kind=EDGE_SELF,
+                        arrival=previous.end,
+                        slack=node.start - previous.end,
+                        source=previous,
+                    )
+                )
+            for entry in event.consumed or ():
+                place, birth, producer = entry
+                source = (
+                    completions.get((producer, birth)) if producer else None
+                )
+                in_edges.append(
+                    EnablingEdge(
+                        target=node,
+                        kind=classify(place),
+                        arrival=birth,
+                        slack=node.start - birth,
+                        place=place,
+                        source=source,
+                    )
+                )
+            firings.append(node)
+            edges[node] = tuple(in_edges)
+            last[event.transition] = node
+            in_flight[event.transition] = node
+            if node.end > horizon:
+                horizon = node.end
+    return EnablingDag(firings, edges, horizon)
+
+
+@dataclass
+class WaitProfile:
+    """Where one transition's cycles went over ``[0, horizon)``.
+
+    ``executing`` counts in-flight cycles, ``waits[kind]`` the cycles
+    spent blocked on the last-arriving token of that kind, and ``idle``
+    the tail after the final completion (plus the whole horizon for a
+    transition that never fired).  By construction ``executing +
+    sum(waits) + idle == horizon`` — the components are a partition of
+    the transition's timeline, not estimates.  ``percentiles[kind]``
+    carries p50/p95 of the per-firing wait of that kind (over *all*
+    firings, zeros included), computed by the shared
+    :class:`~repro.obs.metrics.Histogram`.
+    """
+
+    transition: str
+    horizon: int
+    firings: int = 0
+    executing: int = 0
+    idle: int = 0
+    waits: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in WAIT_KINDS}
+    )
+    percentiles: Dict[str, Dict[str, Optional[float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def total(self) -> int:
+        return self.executing + self.idle + sum(self.waits.values())
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "firings": self.firings,
+            "executing": self.executing,
+            "idle": self.idle,
+            "waits": dict(self.waits),
+            "percentiles": {
+                kind: dict(stats)
+                for kind, stats in sorted(self.percentiles.items())
+            },
+        }
+
+
+def wait_profiles(
+    dag: EnablingDag,
+    transitions: Optional[Sequence[str]] = None,
+    horizon: Optional[int] = None,
+) -> Dict[str, WaitProfile]:
+    """Decompose every transition's timeline into wait states.
+
+    Per firing, the window from its *ready* instant (the previous
+    firing's completion, or 0) to its start is partitioned at the
+    consumed tokens' clipped arrival instants; each segment is
+    attributed to the token that ended it — "these cycles were spent
+    waiting for that arrival".  Under the earliest firing rule the
+    start *is* the last clipped arrival (nothing else can delay an
+    enabled, idle transition; a lost SCP conflict surfaces as a later
+    run-place token birth), so the segments tile the window exactly.
+    Any residue from a foreign event stream is attributed to the
+    binding edge rather than silently dropped, keeping the tiling
+    invariant unconditional.
+    """
+    if horizon is None:
+        horizon = dag.horizon
+    names = list(
+        transitions if transitions is not None else sorted(dag.by_transition)
+    )
+    profiles: Dict[str, WaitProfile] = {}
+    for name in names:
+        profile = WaitProfile(transition=name, horizon=horizon)
+        nodes = dag.by_transition.get(name, [])
+        profile.firings = len(nodes)
+        histograms = {kind: Histogram(kind) for kind in WAIT_KINDS}
+        clock = 0  # start of this firing's accountability window
+        for node in nodes:
+            ready = clock
+            per_firing = {kind: 0 for kind in WAIT_KINDS}
+            token_edges = sorted(
+                (
+                    edge
+                    for edge in dag.in_edges(node)
+                    if edge.kind != EDGE_SELF
+                ),
+                key=lambda e: (max(e.arrival, ready), e.place or ""),
+            )
+            cursor = ready
+            for edge in token_edges:
+                arrival = max(edge.arrival, ready)
+                if arrival > cursor:
+                    per_firing[edge.kind] += arrival - cursor
+                    cursor = arrival
+            if cursor < node.start:  # residue; see the docstring
+                binding = dag.binding_edge(node)
+                kind = binding.kind if binding is not None else EDGE_SELF
+                per_firing[kind] += node.start - cursor
+            for kind, cycles in per_firing.items():
+                profile.waits[kind] += cycles
+                histograms[kind].observe(cycles)
+            profile.executing += min(node.end, horizon) - node.start
+            clock = node.end
+        profile.idle = max(horizon - clock, 0)
+        profile.percentiles = {
+            kind: {
+                "p50": histogram.percentile(50),
+                "p95": histogram.percentile(95),
+            }
+            for kind, histogram in histograms.items()
+            if histogram.count
+        }
+        profiles[name] = profile
+    return profiles

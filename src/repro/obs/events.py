@@ -65,11 +65,33 @@ class Event:
 class FiringStarted(Event):
     """Transition ``transition`` started firing at logical ``time`` and
     will occupy ``duration`` cycles (one behavior-graph transition
-    instance)."""
+    instance).
+
+    ``consumed`` is the token provenance of this firing: one
+    ``(place, birth_time, producer)`` triple per input place, naming
+    the token the firing consumed — the place it sat on, the logical
+    time it was deposited, and the transition whose completion
+    deposited it (``""`` for tokens of the initial marking).  Tokens
+    are matched FIFO per place, exactly like
+    :class:`repro.petrinet.behavior.BehaviorRecorder`, so these triples
+    are the edges of the enabling DAG
+    (:mod:`repro.obs.causality`).  Both simulation engines fill it
+    whenever instrumentation is attached; it is ``None`` only for
+    hand-built events.
+    """
 
     time: int
     transition: str
     duration: int
+    consumed: Optional[Tuple[Tuple[str, int, str], ...]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = super().to_dict()
+        if self.consumed is None:
+            del payload["consumed"]
+        else:
+            payload["consumed"] = [list(entry) for entry in self.consumed]
+        return payload
 
 
 @dataclasses.dataclass(frozen=True)

@@ -161,6 +161,7 @@ def make_run_record(
     phase_wall_clock: Optional[Mapping[str, Any]] = None,
     metrics: Optional[Mapping[str, Any]] = None,
     spans: Optional[Mapping[str, Any]] = None,
+    blame: Optional[Mapping[str, Any]] = None,
     cwd: Optional[_PathLike] = None,
 ) -> Dict[str, Any]:
     """Assemble one normalised, validated run record.
@@ -173,6 +174,9 @@ def make_run_record(
     ``spans`` is a traced sweep's lane/critical-path summary
     (:meth:`repro.batch.sweep.SweepResult.timing_summary`), stored
     under ``timing.spans`` — volatile like all timing data.
+    ``blame`` is a causal blame summary
+    (:func:`repro.core.blame.blame_summary`), stored under
+    ``timing.blame`` and rendered by the dashboard's causality lane.
     """
     record: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
@@ -191,6 +195,8 @@ def make_run_record(
         timing["metrics"] = dict(metrics)
     if spans:
         timing["spans"] = dict(spans)
+    if blame:
+        timing["blame"] = dict(blame)
     if timing:
         record["timing"] = timing
     validate_record(record)

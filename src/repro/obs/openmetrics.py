@@ -22,7 +22,13 @@ registry metric    OpenMetrics family
                    ``_count`` and ``_sum``
 timers             summaries with a ``_seconds`` unit suffix and a
                    ``# UNIT`` line (timer samples are seconds)
+labeled counters   ``counter`` — one ``<name>_total`` sample per label set
+                   (dump key ``labeled_counters``; values escaped per spec)
 =================  ==========================================================
+
+Label values are escaped per the exposition spec (``\\`` → ``\\\\``,
+``"`` → ``\\"``, newline → ``\\n``) by :func:`escape_label_value`;
+:func:`parse_labels` is the exact inverse.
 
 Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots and
 other separators become underscores; collisions get numeric suffixes),
@@ -40,6 +46,9 @@ from typing import Any, Dict, List, Mapping, Tuple, Union
 
 __all__ = [
     "sanitize_metric_name",
+    "escape_label_value",
+    "format_labels",
+    "parse_labels",
     "render_openmetrics",
     "dump_from_record",
     "parse_exposition",
@@ -47,9 +56,16 @@ __all__ = [
 
 _NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+# One label: name="value" where value is any run of non-special chars
+# or the three escape sequences \\, \", \n the spec defines.
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\["\\n])*)"'
+)
 _SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?P<labels>\{[^{}]*\})?"
+    r"(?P<labels>\{(?:" + _LABEL + r"(?:," + _LABEL + r")*)?\})?"
     r" (?P<value>-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN|[+-]Inf)$"
 )
 
@@ -63,6 +79,79 @@ def sanitize_metric_name(name: str) -> str:
     if not text or not _NAME_OK.match(text):
         text = "_" + text
     return text
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the OpenMetrics exposition spec:
+    backslash, double quote and newline become ``\\\\``, ``\\"`` and
+    ``\\n`` (everything else passes through verbatim)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _sanitize_label_name(name: str) -> str:
+    text = _LABEL_NAME_BAD.sub("_", str(name))
+    if not text or not text[0].isalpha() and text[0] != "_":
+        text = "_" + text
+    return text
+
+
+def format_labels(labels: Mapping[str, Any]) -> str:
+    """Render a label mapping as a ``{name="value",...}`` label set with
+    spec-compliant value escaping (names sanitized, sorted for
+    determinism).  An empty mapping renders as the empty string."""
+    if not labels:
+        return ""
+    parts = [
+        f'{_sanitize_label_name(name)}="{escape_label_value(value)}"'
+        for name, value in sorted(labels.items(), key=lambda kv: str(kv[0]))
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def parse_labels(labels: str) -> Dict[str, str]:
+    """Parse a ``{name="value",...}`` label set (as captured by
+    :func:`parse_exposition`) back into a mapping, undoing the value
+    escaping.  The empty string parses to ``{}``."""
+    if not labels:
+        return {}
+    if not (labels.startswith("{") and labels.endswith("}")):
+        raise ValueError(f"malformed label set {labels!r}")
+    body = labels[1:-1]
+    if not body:
+        return {}
+    out: Dict[str, str] = {}
+    pos = 0
+    while True:
+        match = _LABEL_RE.match(body, pos)
+        if match is None:
+            raise ValueError(f"malformed label set {labels!r} at offset {pos}")
+        out[match.group("name")] = _unescape_label_value(match.group("value"))
+        pos = match.end()
+        if pos == len(body):
+            return out
+        if body[pos] != ",":
+            raise ValueError(f"malformed label set {labels!r} at offset {pos}")
+        pos += 1
 
 
 def _format_value(value: Union[int, float]) -> str:
@@ -155,6 +244,26 @@ def render_openmetrics(source: Any) -> str:
         family = families.family_name(raw_name, strip_total=True)
         families.block(family, "counter", raw_name)
         families.sample(f"{family}_total", value)
+    for raw_name, samples in sorted(
+        (dump.get("labeled_counters") or {}).items()
+    ):
+        if not isinstance(samples, (list, tuple)):
+            continue
+        rows = [
+            (entry.get("labels") or {}, entry.get("value"))
+            for entry in samples
+            if isinstance(entry, Mapping)
+            and isinstance(entry.get("value"), (int, float))
+            and not isinstance(entry.get("value"), bool)
+        ]
+        if not rows:
+            continue  # a declared family with no samples violates the spec
+        family = families.family_name(raw_name, strip_total=True)
+        families.block(family, "counter", raw_name)
+        for labels, value in rows:
+            families.sample(
+                f"{family}_total", value, labels=format_labels(labels)
+            )
     for raw_name, value in sorted((dump.get("gauges") or {}).items()):
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue

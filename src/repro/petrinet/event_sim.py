@@ -152,6 +152,19 @@ class EventDrivenSimulator:
         self.total_firings: Dict[str, int] = {
             t: 0 for t in self.net.transition_names
         }
+        # Token provenance (see EarliestFiringSimulator.reset): per-place
+        # FIFO of (birth time, producer), kept only when instrumented.
+        # Completions append in sorted order and firings pop in firing
+        # order — identical to the step engine, so both engines attach
+        # byte-identical FiringStarted.consumed provenance.
+        self._births: Optional[Dict[str, List[Tuple[int, str]]]] = (
+            {
+                p: [(0, "")] * self._initial[p]
+                for p in self.net.place_names
+            }
+            if self._obs is not None
+            else None
+        )
         self.policy.reset()
         self._check_policy_key()
 
@@ -248,7 +261,10 @@ class EventDrivenSimulator:
                     wake.update(self._consumers[place])
             self.marking = self.marking.with_delta(deltas)
             if obs is not None:
+                births = self._births
                 for transition in completed:
+                    for place in self._outputs[transition]:
+                        births[place].append((now, transition))
                     obs.emit(
                         FiringCompleted(
                             now, transition, self.timed_net.duration(transition)
@@ -315,7 +331,11 @@ class EventDrivenSimulator:
             self.policy.notify_fired(transition)
             fired.append(transition)
             if obs is not None:
-                obs.emit(FiringStarted(now, transition, duration))
+                births = self._births
+                consumed = tuple(
+                    (place, *births[place].pop(0)) for place in inputs
+                )
+                obs.emit(FiringStarted(now, transition, duration, consumed))
 
         self.time = now + 1
         return StepRecord(now, completed, tuple(fired), state)

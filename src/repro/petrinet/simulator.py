@@ -187,6 +187,20 @@ class EarliestFiringSimulator:
         self.total_firings: Dict[str, int] = {
             t: 0 for t in self.net.transition_names
         }
+        # Token provenance, kept only when instrumentation is attached:
+        # per place, a FIFO of (birth time, producing transition) for
+        # every token currently on it ("" marks initial-marking tokens).
+        # Deposits append, firings pop — the same FIFO matching as
+        # BehaviorRecorder, so FiringStarted.consumed agrees with the
+        # behavior graph's consumption arcs.
+        self._births: Optional[Dict[str, List[Tuple[int, str]]]] = (
+            {
+                p: [(0, "")] * self._initial[p]
+                for p in self.net.place_names
+            }
+            if self._obs is not None
+            else None
+        )
         self.policy.reset()
         self._check_policy_key()
 
@@ -274,7 +288,10 @@ class EarliestFiringSimulator:
                     deltas[place] = deltas.get(place, 0) + 1
             self.marking = self.marking.with_delta(deltas)
             if obs is not None:
+                births = self._births
                 for transition in completed:
+                    for place in self.net.output_places(transition):
+                        births[place].append((now, transition))
                     obs.emit(
                         FiringCompleted(
                             now, transition, self.timed_net.duration(transition)
@@ -325,7 +342,11 @@ class EarliestFiringSimulator:
             self.policy.notify_fired(transition)
             fired.append(transition)
             if obs is not None:
-                obs.emit(FiringStarted(now, transition, duration))
+                births = self._births
+                consumed = tuple(
+                    (place, *births[place].pop(0)) for place in inputs
+                )
+                obs.emit(FiringStarted(now, transition, duration, consumed))
 
         self.time = now + 1
         return StepRecord(now, completed, tuple(fired), state)

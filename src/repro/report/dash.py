@@ -17,7 +17,12 @@ Sections:
   could grow before ``Ω`` (and hence the optimal rate) changes;
 * token-occupancy sparklines per place over the frustum window;
 * when ledger history exists (``benchmarks/ledger/runs.jsonl``), trend
-  charts of cycle time and detection cost across commits.
+  charts of cycle time and detection cost across commits;
+* when a ledger record carries a ``timing.blame`` summary (``repro
+  explain <loop> --ledger``), the causality lane: the observed
+  critical path with its structural verdict and a per-transition
+  wait-state waterfall (records from another blame schema version
+  degrade to a placeholder card).
 
 All numbers are computed by the core layers; this module only formats.
 Charts carry native ``<title>`` hover tooltips and every chart has a
@@ -55,6 +60,9 @@ _CSS = """
   --axis: #c3c2b7;
   --border: rgba(11, 11, 11, 0.10);
   --series-1: #2a78d6;
+  --series-2: #e8883a;
+  --series-3: #7b5cd6;
+  --series-4: #2f9e73;
   --series-track: #cde2fb;
   --critical: #d03b3b;
   font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
@@ -75,6 +83,9 @@ _CSS = """
     --axis: #383835;
     --border: rgba(255, 255, 255, 0.10);
     --series-1: #3987e5;
+    --series-2: #ef9a54;
+    --series-3: #9279e0;
+    --series-4: #3cb587;
     --series-track: #0d366b;
     --critical: #d03b3b;
   }
@@ -497,6 +508,153 @@ def _sweep_html(sweep_history: Sequence[Mapping[str, Any]]) -> str:
     return "".join(sections)
 
 
+#: Wait-state kinds in waterfall stacking order, with their palette
+#: role and legend label.  Must track
+#: :data:`repro.obs.causality.WAIT_KINDS` plus executing/idle.
+_WAIT_SEGMENTS: Tuple[Tuple[str, str, str], ...] = (
+    ("executing", "var(--series-1)", "executing"),
+    ("data", "var(--series-2)", "data wait"),
+    ("feedback", "var(--series-3)", "feedback wait"),
+    ("ack", "var(--series-4)", "ack wait"),
+    ("resource", "var(--critical)", "resource wait"),
+    ("self", "var(--axis)", "re-fire wait"),
+    ("idle", "var(--series-track)", "idle"),
+)
+
+
+def _waterfall_svg(
+    wait_states: Mapping[str, Mapping[str, Any]], horizon: int
+) -> str:
+    """Stacked per-transition waterfall of the wait-state
+    decomposition: one row per transition, segments in
+    :data:`_WAIT_SEGMENTS` order, widths proportional to cycles over
+    the horizon (they tile it exactly)."""
+    row_h, bar_h, left, top = 24, 14, 150, 6
+    plot_w = 420
+    names = sorted(wait_states)
+    width = left + plot_w + 12
+    height = top + row_h * len(names) + 8
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        f'aria-label="Wait-state waterfall per transition">'
+    ]
+    scale = plot_w / max(horizon, 1)
+    for index, name in enumerate(names):
+        profile = wait_states[name]
+        waits = profile.get("waits") or {}
+        y = top + index * row_h
+        mid = y + row_h // 2
+        parts.append(
+            f'<text x="{left - 8}" y="{mid + 4}" font-size="12" '
+            f'fill="var(--text-primary)" text-anchor="end">'
+            f"{_esc(name)}</text>"
+        )
+        x = float(left)
+        for key, color, label in _WAIT_SEGMENTS:
+            cycles = (
+                profile.get(key, 0) if key in ("executing", "idle")
+                else waits.get(key, 0)
+            )
+            if not isinstance(cycles, (int, float)) or cycles <= 0:
+                continue
+            seg_w = cycles * scale
+            tip = f"{_esc(name)}: {label} {cycles} / {horizon} cycles"
+            parts.append(
+                f'<rect x="{x:.1f}" y="{mid - bar_h // 2}" '
+                f'width="{max(seg_w, 1):.1f}" height="{bar_h}" '
+                f'fill="{color}"><title>{tip}</title></rect>'
+            )
+            x += seg_w
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _causality_html(history: Sequence[Mapping[str, Any]]) -> str:
+    """The causality lane: observed critical path and wait-state
+    waterfall from the latest ledger record carrying a ``timing.blame``
+    summary (``repro explain <loop> --ledger``).
+
+    Returns the empty string when no record has blame data; renders a
+    placeholder card when the newest blame summary predates (or
+    postdates) the schema this build understands, instead of guessing
+    at unknown fields.
+    """
+    from ..core.blame import BLAME_SCHEMA_VERSION
+
+    latest: Optional[Mapping[str, Any]] = None
+    latest_sha = "?"
+    for record in history:
+        blame = record.get("timing", {}).get("blame")
+        if isinstance(blame, Mapping):
+            latest = blame
+            latest_sha = str(record.get("git_sha", "?"))[:7]
+    if latest is None:
+        return ""
+    version = latest.get("schema_version")
+    if version != BLAME_SCHEMA_VERSION:
+        return (
+            "<h2>Causality</h2>"
+            '<p class="note">The newest blame summary in the ledger uses '
+            f"schema version {_esc(version)}, but this build renders "
+            f"version {BLAME_SCHEMA_VERSION} — re-run <code>repro explain "
+            "&lt;loop&gt; --ledger</code> to refresh it.</p>"
+        )
+    horizon = latest.get("horizon")
+    wait_states = latest.get("wait_states")
+    observed = latest.get("observed_cycle")
+    sections = [f"<h2>Causality — observed critical path at {_esc(latest_sha)}</h2>"]
+    if isinstance(observed, Mapping) and observed.get("transitions"):
+        path = " → ".join(str(t) for t in observed["transitions"])
+        verdict = (
+            "matches the Howard witness C*"
+            if latest.get("matches_howard")
+            else "matches a structural critical cycle"
+            if latest.get("observed_match")
+            else "no structural match (resource-shaped or transient)"
+        )
+        sections.append(
+            f'<p class="note">{_esc(path)} — per-iteration length '
+            f'{_esc(observed.get("cycle_time", "?"))} ({_esc(verdict)}; '
+            f'model {_esc(latest.get("model", "?"))}).</p>'
+        )
+    else:
+        sections.append(
+            '<p class="note">The blame walk drained into the transient — '
+            "re-run <code>repro explain</code> with more "
+            "<code>--periods</code>.</p>"
+        )
+    if isinstance(wait_states, Mapping) and wait_states and isinstance(
+        horizon, int
+    ):
+        legend = "".join(
+            f'<span class="key" style="background:{color}"></span>{label}'
+            for _key, color, label in _WAIT_SEGMENTS
+        )
+        sections.append(f'<div class="legend">{legend}</div>')
+        sections.append(_waterfall_svg(wait_states, horizon))
+        rows = []
+        for name in sorted(wait_states):
+            profile = wait_states[name]
+            waits = profile.get("waits") or {}
+            cells = "".join(
+                f"<td>{_esc(profile.get(key, 0) if key in ('executing', 'idle') else waits.get(key, 0))}</td>"
+                for key, _c, _l in _WAIT_SEGMENTS
+            )
+            rows.append(
+                f'<tr><td class="name">{_esc(name)}</td>'
+                f'<td>{_esc(profile.get("firings", 0))}</td>{cells}</tr>'
+            )
+        headers = "".join(f"<th>{label}</th>" for _k, _c, label in _WAIT_SEGMENTS)
+        sections.append(
+            "<details><summary>table view — wait states "
+            f"(cycles over horizon {_esc(horizon)})</summary>"
+            f"<table><thead><tr><th>transition</th><th>fired</th>{headers}"
+            f'</tr></thead><tbody>{"".join(rows)}</tbody></table></details>'
+        )
+    return "".join(sections)
+
+
 def _trend_table(points: Sequence[TrendPoint], label: str) -> str:
     rows = "".join(
         f'<tr><td class="name">{_esc(p.label)}</td><td>{p.value:g}</td></tr>'
@@ -583,6 +741,9 @@ def render_dash(
         _history_html(history),
         "</div>",
     ]
+    causality_section = _causality_html(history)
+    if causality_section:
+        parts.append('<div class="card">' + causality_section + "</div>")
     sweep_section = _sweep_html(sweep_history)
     if sweep_section:
         parts.append('<div class="card">' + sweep_section + "</div>")

@@ -1,0 +1,194 @@
+"""The enabling DAG: provenance plumbing, binding edges, and the
+wait-state tiling invariant.
+
+The decomposition claim is structural, not statistical: for every
+transition, ``executing + Σ waits + idle`` must equal the simulated
+horizon *exactly* — asserted here over hypothesis-generated ring nets
+on both engines.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_sdsp_pn
+from repro.loops import parse_loop, translate
+from repro.obs import Instrumentation, ListSink
+from repro.obs.causality import (
+    EDGE_ACK,
+    EDGE_DATA,
+    EDGE_RESOURCE,
+    EDGE_SELF,
+    build_enabling_dag,
+    default_classifier,
+    wait_profiles,
+)
+from repro.obs.events import FiringCompleted, FiringStarted
+from repro.petrinet import Marking, PetriNet, TimedPetriNet, detect_frustum
+from tests.conftest import L1_SOURCE
+
+
+def traced_events(timed_net, initial, engine):
+    """Run frustum detection with a list sink attached; returns the
+    captured event stream."""
+    sink = ListSink()
+    obs = Instrumentation(sinks=[sink])
+    detect_frustum(timed_net, initial, instrumentation=obs, engine=engine)
+    return sink.events
+
+
+def ring_net(durations):
+    """t0 -> p0 -> t1 -> ... -> t(k-1) -> p(k-1) -> t0, one token on the
+    closing place: the canonical live safe marked graph."""
+    k = len(durations)
+    net = PetriNet("ring")
+    for i in range(k):
+        net.add_transition(f"t{i}")
+    for i in range(k):
+        net.add_place(f"p{i}")
+        net.add_arc(f"t{i}", f"p{i}")
+        net.add_arc(f"p{i}", f"t{(i + 1) % k}")
+    timed = TimedPetriNet(
+        net, {f"t{i}": durations[i] for i in range(k)}
+    )
+    return timed, Marking({f"p{k - 1}": 1}, net)
+
+
+class TestBuildEnablingDag:
+    def test_hand_built_stream(self):
+        events = [
+            FiringStarted(0, "a", 2, (("q", 0, ""),)),
+            FiringCompleted(2, "a", 2),
+            FiringStarted(2, "b", 3, (("p", 2, "a"),)),
+            FiringStarted(4, "a", 2, (("q", 3, ""),)),
+            FiringCompleted(5, "b", 3),
+            FiringCompleted(6, "a", 2),
+        ]
+        dag = build_enabling_dag(events)
+        assert [f.label for f in dag.firings] == ["a@0", "b@2", "a@4"]
+        assert dag.horizon == 6
+
+        b0 = dag.firings[1]
+        (edge,) = dag.in_edges(b0)
+        assert (edge.place, edge.arrival, edge.slack) == ("p", 2, 0)
+        assert edge.source is dag.firings[0]
+
+        # second firing of `a` carries the implicit self edge plus the
+        # initial-marking token (producer "", no source node)
+        a1 = dag.firings[2]
+        kinds = {e.kind for e in dag.in_edges(a1)}
+        assert kinds == {EDGE_SELF, EDGE_DATA}
+        binding = dag.binding_edge(a1)
+        assert binding.kind == EDGE_DATA and binding.source is None
+
+    def test_blame_chain_stops_at_initial_marking(self):
+        events = [
+            FiringStarted(0, "a", 1, (("q", 0, ""),)),
+            FiringCompleted(1, "a", 1),
+            FiringStarted(1, "b", 1, (("p", 1, "a"),)),
+            FiringCompleted(2, "b", 1),
+        ]
+        dag = build_enabling_dag(events)
+        chain = dag.blame_chain(dag.last_firing())
+        assert [e.target.label for e in chain] == ["b@1", "a@0"]
+        assert chain[-1].source is None
+
+    def test_default_classifier(self):
+        assert default_classifier("p_run") == EDGE_RESOURCE
+        assert default_classifier("a[A.0->B.1]") == EDGE_ACK
+        assert default_classifier("d[A.0->B.1]") == EDGE_DATA
+
+
+class TestProvenance:
+    def test_consumed_matches_input_places(self):
+        pn = build_sdsp_pn(
+            translate(parse_loop(L1_SOURCE)).graph, include_io=False
+        )
+        events = traced_events(pn.timed, pn.initial, "event")
+        starts = [e for e in events if isinstance(e, FiringStarted)]
+        assert starts
+        for event in starts:
+            assert event.consumed is not None
+            places = sorted(entry[0] for entry in event.consumed)
+            assert places == sorted(pn.net.input_places(event.transition))
+            for place, birth, producer in event.consumed:
+                assert 0 <= birth <= event.time
+                if producer == "":
+                    # initial-marking token: born at time 0
+                    assert birth == 0
+                else:
+                    assert place in pn.net.output_places(producer)
+
+    def test_engines_emit_identical_provenance(self):
+        pn = build_sdsp_pn(
+            translate(parse_loop(L1_SOURCE)).graph, include_io=False
+        )
+        step = [
+            e.to_dict()
+            for e in traced_events(pn.timed, pn.initial, "step")
+            if isinstance(e, FiringStarted)
+        ]
+        event = [
+            e.to_dict()
+            for e in traced_events(pn.timed, pn.initial, "event")
+            if isinstance(e, FiringStarted)
+        ]
+        assert step == event
+
+    def test_no_provenance_without_instrumentation(self):
+        """The hot path is untouched when tracing is off: no sink, no
+        consumed tuples anywhere (nothing is even collected)."""
+        from repro.petrinet.simulator import EarliestFiringSimulator
+
+        pn = build_sdsp_pn(
+            translate(parse_loop(L1_SOURCE)).graph, include_io=False
+        )
+        sim = EarliestFiringSimulator(pn.timed, pn.initial)
+        assert sim._births is None
+
+
+class TestWaitTiling:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        durations=st.lists(
+            st.integers(min_value=1, max_value=5), min_size=2, max_size=5
+        ),
+        engine=st.sampled_from(["step", "event"]),
+    )
+    def test_components_tile_horizon_on_ring_nets(self, durations, engine):
+        timed, initial = ring_net(durations)
+        events = traced_events(timed, initial, engine)
+        dag = build_enabling_dag(events)
+        profiles = wait_profiles(dag)
+        assert profiles
+        for profile in profiles.values():
+            assert profile.total == dag.horizon
+            assert profile.executing >= 0 and profile.idle >= 0
+            assert all(v >= 0 for v in profile.waits.values())
+
+    def test_l1_tiling_and_percentiles(self):
+        pn = build_sdsp_pn(
+            translate(parse_loop(L1_SOURCE)).graph, include_io=False
+        )
+        events = traced_events(pn.timed, pn.initial, "event")
+        dag = build_enabling_dag(events)
+        profiles = wait_profiles(
+            dag, transitions=pn.net.transition_names
+        )
+        assert set(profiles) == set(pn.net.transition_names)
+        for profile in profiles.values():
+            assert profile.total == dag.horizon
+            if profile.firings:
+                for stats in profile.percentiles.values():
+                    assert stats["p50"] is not None
+                    assert stats["p95"] >= stats["p50"]
+
+    def test_never_fired_transition_is_all_idle(self):
+        dag = build_enabling_dag(
+            [
+                FiringStarted(0, "a", 4, ()),
+                FiringCompleted(4, "a", 4),
+            ]
+        )
+        profiles = wait_profiles(dag, transitions=["a", "ghost"])
+        assert profiles["ghost"].idle == dag.horizon == 4
+        assert profiles["ghost"].total == 4

@@ -157,3 +157,85 @@ class TestDumpFromRecord:
 
     def test_record_without_timing_renders_empty(self):
         assert render_openmetrics(dump_from_record({})) == "# EOF\n"
+
+
+class TestLabelEscaping:
+    """Label values per the exposition spec: backslash, quote and
+    newline must be escaped on render and recovered on parse."""
+
+    HOSTILE = {
+        "plain": "delay[a[A.0->B.1]]",
+        "quote": 'he said "hi"',
+        "backslash": "C:\\temp\\x",
+        "newline": "line1\nline2",
+        "braces": "{not,labels}",
+        "comma_eq": 'a=1,b="2"',
+        "trailing_backslash": "ends with \\",
+    }
+
+    def test_escape_is_invertible(self):
+        from repro.obs import escape_label_value, format_labels, parse_labels
+
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        rendered = format_labels(self.HOSTILE)
+        assert "\n" not in rendered
+        assert parse_labels(rendered) == self.HOSTILE
+
+    def test_empty_label_set(self):
+        from repro.obs import format_labels, parse_labels
+
+        assert format_labels({}) == ""
+        assert parse_labels("") == {}
+        assert parse_labels("{}") == {}
+
+    def test_malformed_label_sets_rejected(self):
+        from repro.obs import parse_labels
+
+        for bad in ('{k="v}', '{k=v}', '{k="a" b="c"}', 'k="v"', '{k="v",}'):
+            with pytest.raises(ValueError):
+                parse_labels(bad)
+
+    def test_render_parse_round_trip_with_hostile_values(self):
+        from repro.obs import parse_labels
+
+        dump = {
+            "counters": {},
+            "labeled_counters": {
+                "repro.explain.wait.cycles": [
+                    {
+                        "labels": {"transition": value, "kind": key},
+                        "value": index,
+                    }
+                    for index, (key, value) in enumerate(
+                        sorted(self.HOSTILE.items())
+                    )
+                ]
+            },
+        }
+        text = render_openmetrics(dump)
+        families = parse_exposition(text)
+        samples = families["repro_explain_wait_cycles"]["samples"]
+        recovered = {
+            parse_labels(labels)["kind"]: parse_labels(labels)["transition"]
+            for (_name, labels, _value) in samples
+        }
+        assert recovered == self.HOSTILE
+
+    def test_unescaped_hostile_value_fails_the_grammar(self):
+        """The regression this guards: a raw quote inside a label value
+        must not silently pass validation."""
+        bad = (
+            "# TYPE x counter\n# HELP x h\n"
+            'x_total{v="he said "hi""} 1\n# EOF\n'
+        )
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_labeled_counters_with_no_valid_samples_are_dropped(self):
+        text = render_openmetrics(
+            {"labeled_counters": {"empty.family": [], "bools": [
+                {"labels": {}, "value": True}
+            ]}}
+        )
+        assert text == "# EOF\n"
+        parse_exposition(text)

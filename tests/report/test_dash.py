@@ -201,3 +201,85 @@ class TestSweepCard:
         # inexact percentiles carry the ~ marker, exact ones don't
         assert "~0.100000" in html
         assert "~0.001000" not in html and "0.001000" in html
+
+
+class TestCausalityCard:
+    @staticmethod
+    def blame_record(sha, schema_version=1, observed=True):
+        blame = {
+            "schema_version": schema_version,
+            "model": "SDSP-PN",
+            "alpha": "3",
+            "horizon": 15,
+            "observed_cycle": (
+                {
+                    "transitions": ["C", "D", "E"],
+                    "places": ["d[C.0->D.1]", "d[D.0->E.1]", "d[E.0->C.1]"],
+                    "kinds": ["data", "data", "feedback"],
+                    "span": 3,
+                    "iterations": 1,
+                    "cycle_time": "3",
+                }
+                if observed
+                else None
+            ),
+            "observed_match": observed,
+            "matches_howard": observed,
+            "wait_states": {
+                "C": {
+                    "firings": 4,
+                    "executing": 4,
+                    "idle": 1,
+                    "waits": {
+                        "data": 2,
+                        "feedback": 6,
+                        "ack": 2,
+                        "resource": 0,
+                        "self": 0,
+                    },
+                    "percentiles": {},
+                }
+            },
+        }
+        return {
+            "kind": "cli",
+            "name": "explain:L2",
+            "git_sha": sha,
+            "payload": {"loop": "L2"},
+            "timing": {"blame": blame},
+        }
+
+    def test_no_card_without_blame_history(self, l2_dash):
+        html = render(l2_dash)
+        assert "Causality" not in html
+
+    def test_card_renders_path_waterfall_and_table_twin(self, l2_dash):
+        html = render(l2_dash, history=[self.blame_record("c" * 40)])
+        assert "Causality — observed critical path" in html
+        assert "C → D → E" in html
+        assert "matches the Howard witness C*" in html
+        assert "Wait-state waterfall per transition" in html
+        # chart has a table twin and native tooltips
+        assert "table view — wait states" in html
+        assert "feedback wait 6 / 15 cycles" in html
+
+    def test_schema_mismatch_degrades_to_placeholder(self, l2_dash):
+        html = render(
+            l2_dash, history=[self.blame_record("d" * 40, schema_version=99)]
+        )
+        assert "schema version 99" in html
+        assert "re-run <code>repro explain" in html
+        assert "Wait-state waterfall" not in html
+
+    def test_transient_walk_gets_a_hint_instead_of_a_chart_lie(self, l2_dash):
+        html = render(
+            l2_dash, history=[self.blame_record("e" * 40, observed=False)]
+        )
+        assert "drained into the transient" in html
+
+    def test_latest_blame_record_wins(self, l2_dash):
+        old = self.blame_record("a" * 40, schema_version=99)
+        new = self.blame_record("b" * 40)
+        html = render(l2_dash, history=[old, new])
+        assert "C → D → E" in html
+        assert "schema version 99" not in html

@@ -746,6 +746,98 @@ def pathlib_cwd():
     return pathlib.Path.cwd()
 
 
+class TestExplain:
+    def test_text_report_names_the_critical_path(self, l2_file):
+        status, text = run(["explain", l2_file, "--abstract"])
+        assert status == 0
+        assert "observed critical path : C -> D -> E" in text
+        assert "matches the Howard witness C*" in text
+        assert "wait states per transition" in text
+        assert "blame chain" in text
+
+    def test_json_report(self, l2_file):
+        import json
+
+        status, text = run(["explain", l2_file, "--abstract", "--json"])
+        assert status == 0
+        payload = json.loads(text)
+        assert payload["schema_version"] == 1
+        assert payload["observed"]["transitions"] == ["C", "D", "E"]
+        assert payload["matches_howard"] is True
+        waits = payload["wait_states"]
+        for profile in waits.values():
+            total = (
+                profile["executing"]
+                + profile["idle"]
+                + sum(profile["waits"].values())
+            )
+            assert total == payload["horizon"]
+
+    def test_flow_trace_is_lint_clean(self, l2_file, tmp_path):
+        import json
+        import sys
+
+        sys.path.insert(0, "tools")
+        try:
+            from trace_lint import lint_trace
+        finally:
+            sys.path.remove("tools")
+
+        trace = tmp_path / "flow.json"
+        status, text = run(
+            ["explain", l2_file, "--abstract", "--trace", str(trace)]
+        )
+        assert status == 0
+        assert "wrote flow trace" in text
+        assert lint_trace(trace, strict=True) == []
+        document = json.loads(trace.read_text())
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert {"X", "s", "f"} <= phases
+        assert document["otherData"]["flows"] > 0
+
+    def test_metrics_out_round_trips(self, l2_file, tmp_path):
+        from repro.obs import parse_exposition, parse_labels
+
+        metrics = tmp_path / "explain.om"
+        status, _ = run(
+            ["explain", l2_file, "--abstract", "--metrics-out", str(metrics)]
+        )
+        assert status == 0
+        families = parse_exposition(metrics.read_text())
+        samples = families["repro_explain_wait_cycles"]["samples"]
+        transitions = {
+            parse_labels(labels)["transition"]
+            for (_name, labels, _value) in samples
+        }
+        assert {"A", "B", "C", "D", "E"} <= transitions
+
+    def test_ledger_record_carries_blame_summary(self, l2_file, tmp_path):
+        from repro.obs.ledger import load_records
+
+        ledger = tmp_path / "ledger"
+        status, text = run(
+            ["explain", l2_file, "--abstract", "--ledger", str(ledger)]
+        )
+        assert status == 0
+        assert "appended run record" in text
+        (record,) = load_records(ledger / "runs.jsonl")
+        blame = record["timing"]["blame"]
+        assert blame["schema_version"] == 1
+        assert blame["observed_cycle"]["transitions"] == ["C", "D", "E"]
+
+    def test_scp_mode_reports_the_resource_bound(self, l2_file):
+        status, text = run(
+            ["explain", l2_file, "--abstract", "--stages", "4"]
+        )
+        assert status == 0
+        assert "SDSP-SCP-PN (l=4)" in text
+        assert "SCP resource bound" in text
+
+    def test_bad_periods_rejected(self, l2_file):
+        status, _ = run(["explain", l2_file, "--abstract", "--periods", "0"])
+        assert status == 1
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
