@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke sweep-smoke trace-smoke explain-smoke doctest linkcheck bench bench-check baseline dash clean
+.PHONY: verify test smoke sweep-smoke trace-smoke explain-smoke serve-smoke doctest linkcheck docstring-lint bench bench-check baseline dash clean
 
-verify: test doctest linkcheck smoke sweep-smoke trace-smoke explain-smoke
+verify: test doctest linkcheck docstring-lint smoke sweep-smoke trace-smoke explain-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,10 @@ doctest:
 
 linkcheck:
 	$(PYTHON) tools/check_links.py
+
+# module/public-def docstrings are mandatory in the operated subsystems
+docstring-lint:
+	$(PYTHON) tools/docstring_lint.py
 
 smoke:
 	$(PYTHON) -m repro trace examples/l1.loop --abstract -o /tmp/l1.trace.json
@@ -42,6 +46,11 @@ trace-smoke:
 	$(PYTHON) -c "import pathlib; from repro.obs import parse_exposition; \
 		parse_exposition(pathlib.Path('/tmp/sweep.metrics.txt').read_text()); \
 		print('/tmp/sweep.metrics.txt: exposition is valid OpenMetrics')"
+
+# the service end to end: healthz, cold/warm compile byte-identical to
+# `repro compile`, OpenMetrics, and a clean SIGTERM drain
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
 
 # causal blame end to end: the observed critical path must match a
 # structural critical cycle, the flow trace must be lint-clean, and the

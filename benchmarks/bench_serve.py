@@ -1,0 +1,179 @@
+"""The compilation service under load: warm-cache latency and
+throughput at fixed concurrency.
+
+Boots a real :class:`~repro.service.http.ReproServer` on an ephemeral
+port with a pre-filled compile cache, then fires a fixed number of
+``POST /v1/compile`` requests from a fixed pool of keep-alive client
+connections.  Every response must be a 200 cache hit, and every body
+must be byte-identical — the serve-path equivalent of the sweep
+bench's cache-state-independence assertion.
+
+The deterministic ``payload`` records only facts independent of the
+machine: request/concurrency counts, the all-responses-identical
+verdict, and the sha256 of the served body (which the regression gate
+will trip on if the compiled payload ever drifts).  Latency
+percentiles and throughput are volatile and land in ``timing`` as
+``serve.*`` pseudo-phases; the record is tagged ``kind="serve"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import socket
+
+from benchmarks.conftest import L2_SOURCE, save_artifact, save_json
+from repro.report import render_table
+from repro.service import ReproServer, ServiceConfig
+
+N_REQUESTS = 200
+CONCURRENCY = 8
+
+
+def percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def fire_requests(port: int, n_requests: int, concurrency: int):
+    """Drive the server from ``concurrency`` keep-alive connections
+    sharing a work budget of ``n_requests``; returns per-request
+    ``(latency_seconds, status, body)`` tuples and the total wall."""
+    import threading
+    import time
+
+    body = json.dumps({"source": L2_SOURCE}).encode()
+    request = (
+        f"POST /v1/compile HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+    remaining = [n_requests]
+    lock = threading.Lock()
+    results = []
+
+    def read_response(sock):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            data += sock.recv(65536)
+        head, _, payload = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        while len(payload) < length:
+            payload += sock.recv(65536)
+        return status, payload
+
+    def worker():
+        with socket.create_connection(("127.0.0.1", port), 30) as sock:
+            while True:
+                with lock:
+                    if remaining[0] <= 0:
+                        return
+                    remaining[0] -= 1
+                started = time.perf_counter()
+                sock.sendall(request)
+                status, payload = read_response(sock)
+                latency = time.perf_counter() - started
+                with lock:
+                    results.append((latency, status, payload))
+
+    threads = [
+        threading.Thread(target=worker) for _ in range(concurrency)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, time.perf_counter() - wall_start
+
+
+def test_serve_warm_cache_latency(benchmark, tmp_path):
+    """p50/p95 latency + throughput for warm-cache compile requests."""
+
+    async def scenario():
+        config = ServiceConfig(
+            port=0,
+            workers=2,
+            max_inflight=CONCURRENCY * 2,
+            cache_dir=str(tmp_path / "cache"),
+            drain_grace=5.0,
+        )
+        server = ReproServer(config)
+        task = asyncio.ensure_future(server.run(announce=lambda _: None))
+        while server.port is None:
+            if task.done():
+                task.result()
+            await asyncio.sleep(0.01)
+        try:
+            # one cold request fills the cache; excluded from timing
+            warmup, _ = await asyncio.to_thread(
+                fire_requests, server.port, 1, 1
+            )
+            assert warmup[0][1] == 200
+            return await asyncio.to_thread(
+                fire_requests, server.port, N_REQUESTS, CONCURRENCY
+            )
+        finally:
+            server.request_shutdown()
+            await task
+
+    benchmark.group = "reports"
+    results, wall = benchmark.pedantic(
+        lambda: asyncio.run(scenario()), rounds=1, iterations=1
+    )
+
+    assert len(results) == N_REQUESTS
+    statuses = {status for _, status, _ in results}
+    assert statuses == {200}, f"non-200 responses under load: {statuses}"
+    bodies = {body for _, _, body in results}
+    assert len(bodies) == 1, "served bytes varied across identical requests"
+    served = next(iter(bodies))
+
+    latencies = [latency for latency, _, _ in results]
+    p50 = percentile(latencies, 0.50)
+    p95 = percentile(latencies, 0.95)
+    throughput = N_REQUESTS / wall
+
+    table = render_table(
+        ["metric", "value"],
+        [
+            ["requests", N_REQUESTS],
+            ["concurrency", CONCURRENCY],
+            ["p50 latency (ms)", f"{1e3 * p50:.2f}"],
+            ["p95 latency (ms)", f"{1e3 * p95:.2f}"],
+            ["throughput (req/s)", f"{throughput:.1f}"],
+        ],
+        title="repro serve: warm-cache POST /v1/compile",
+    )
+    save_artifact("serve_latency.txt", table)
+
+    save_json(
+        "serve_latency.json",
+        payload={
+            "n_requests": N_REQUESTS,
+            "concurrency": CONCURRENCY,
+            "all_ok": True,
+            "identical_bodies": True,
+            "body_sha256": hashlib.sha256(served).hexdigest(),
+            "body_bytes": len(served),
+        },
+        phases={
+            "serve.request": {
+                "count": len(latencies),
+                "total": sum(latencies),
+                "mean": sum(latencies) / len(latencies),
+                "p50": p50,
+                "p95": p95,
+            },
+            "serve.wall": {"count": 1, "total": wall, "mean": wall},
+        },
+        kind="serve",
+    )

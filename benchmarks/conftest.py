@@ -73,7 +73,9 @@ def save_artifact(name: str, text: str) -> None:
     print(text)
 
 
-def save_json(name: str, payload: dict, phases: dict = None) -> None:
+def save_json(
+    name: str, payload: dict, phases: dict = None, kind: str = "bench"
+) -> None:
     """Persist one bench's key numbers as a schema-versioned run record.
 
     ``payload`` holds the deterministic numbers (normalized: exact
@@ -81,10 +83,12 @@ def save_json(name: str, payload: dict, phases: dict = None) -> None:
     precision, keys are sorted on write); ``phases`` is the volatile
     per-phase wall-clock dump and lands in the record's ``timing``
     section, away from anything the regression gate hard-compares.
+    ``kind`` tags the record (``"bench"`` for table/figure benches,
+    ``"serve"`` for the service latency bench).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     record = make_run_record(
-        kind="bench",
+        kind=kind,
         name=pathlib.Path(name).stem,
         payload=payload,
         phase_wall_clock=phases,

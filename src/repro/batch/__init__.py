@@ -47,8 +47,15 @@ from .cache import (
     resolve_cache_dir,
 )
 from .manifest import SweepItem, load_manifest, scaling_items
-from .progress import SweepProgress
-from .sweep import SweepItemResult, SweepResult, compile_many
+from .progress import StatusLine, SweepProgress
+from .sweep import (
+    SweepItemResult,
+    SweepResult,
+    compile_item_task,
+    compile_many,
+    compile_one,
+    item_result_from_entry,
+)
 
 __all__ = [
     "CACHE_ENV_VAR",
@@ -60,8 +67,12 @@ __all__ = [
     "SweepItem",
     "load_manifest",
     "scaling_items",
+    "StatusLine",
     "SweepItemResult",
     "SweepResult",
     "SweepProgress",
+    "compile_item_task",
     "compile_many",
+    "compile_one",
+    "item_result_from_entry",
 ]

@@ -143,12 +143,15 @@ class CompileCache:
 
     @property
     def registry(self) -> MetricsRegistry:
+        """Where cache counters land (the bound registry, or the
+        process-wide default when none was given)."""
         return self._registry if self._registry is not None else default_registry()
 
     def _count(self, outcome: str) -> None:
         self.registry.counter(f"batch.cache.{outcome}").inc()
 
     def path_for(self, key: str) -> pathlib.Path:
+        """The on-disk entry for ``key`` (one JSON file per entry)."""
         return self.directory / f"{key}.json"
 
     # ------------------------------------------------------------------

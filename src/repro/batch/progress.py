@@ -1,10 +1,19 @@
-"""Live sweep telemetry: the single-line TTY progress display.
+"""Live console telemetry: the reusable single-line status renderer
+and the sweep progress display built on it.
 
 ``repro sweep`` over a hundred loops used to be a black box until the
 merge printed.  :class:`SweepProgress` turns it into a live line on
 stderr::
 
     sweep 37/96 39% | eta 0:42 | hits 31/35 (89%) | 1 error | running: chain-64, recurrence-128
+
+The in-place rendering itself — carriage-return overwrite, width
+clamping, throttling, auto-off when the stream is not a terminal — is
+:class:`StatusLine`, shared with ``repro serve``'s graceful-drain
+status ("drain: 3 in-flight, 8s left").  It never crashes when the
+terminal width is unavailable: a missing/raising ``fileno``, an unset
+or empty ``COLUMNS`` (systemd units, CI runners) all degrade to an
+80-column fallback.
 
 * **auto-off**: the line renders only when the stream is a TTY (so
   piped/CI output stays clean) and ``--no-progress`` forces it off;
@@ -23,21 +32,103 @@ rendering is enabled, so tests can substitute a recording double.
 
 from __future__ import annotations
 
-import shutil
+import os
 import sys
 from time import perf_counter
 from typing import IO, List, Optional
 
-__all__ = ["SweepProgress"]
+__all__ = ["StatusLine", "SweepProgress"]
+
+#: Width used when neither the stream nor the environment can say.
+_FALLBACK_COLUMNS = 80
 
 
 def _fmt_eta(seconds: float) -> str:
+    """Render a duration as ``m:ss`` (or ``h:mm:ss`` past an hour)."""
     seconds = max(0, int(round(seconds)))
     minutes, secs = divmod(seconds, 60)
     hours, minutes = divmod(minutes, 60)
     if hours:
         return f"{hours}:{minutes:02d}:{secs:02d}"
     return f"{minutes}:{secs:02d}"
+
+
+class StatusLine:
+    """One in-place status line on a stream (shared renderer).
+
+    ``enabled=None`` (the default) auto-detects: render only when
+    ``stream`` is a terminal.  Updates are throttled to one render per
+    ``min_interval`` seconds unless forced; :meth:`clear` erases the
+    line so a final summary can take its place.
+
+    Width detection is deliberately paranoid — the renderer is used
+    from CLI sweeps *and* from a long-running server's drain path, so
+    it must survive streams with no file descriptor, closed
+    descriptors, and ``COLUMNS`` being unset or empty under systemd or
+    CI (where :func:`shutil.get_terminal_size` can be unhelpful).
+    Every failure mode degrades to an 80-column fallback.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        enabled: Optional[bool] = None,
+        min_interval: float = 0.1,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            try:
+                enabled = bool(isatty and isatty())
+            except (OSError, ValueError):
+                enabled = False
+        self.enabled = enabled
+        self.min_interval = min_interval
+        self._last_render = -1.0
+        self._dirty = False
+
+    def width(self) -> int:
+        """The usable line width, never raising.
+
+        Tries the stream's own terminal size first (progress renders on
+        stderr, which may be a TTY even when stdout is piped), then the
+        ``COLUMNS`` environment variable, then the 80-column fallback.
+        """
+        columns = 0
+        fileno = getattr(self.stream, "fileno", None)
+        if fileno is not None:
+            try:
+                columns = os.get_terminal_size(fileno()).columns
+            except (OSError, ValueError, AttributeError):
+                columns = 0
+        if columns <= 0:
+            try:
+                columns = int(os.environ.get("COLUMNS", ""))
+            except ValueError:
+                columns = 0
+        if columns <= 0:
+            columns = _FALLBACK_COLUMNS
+        return max(20, columns - 1)
+
+    def update(self, text: str, force: bool = False) -> None:
+        """Render ``text`` in place (throttled unless ``force``)."""
+        if not self.enabled:
+            return
+        now = perf_counter()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        width = self.width()
+        self.stream.write("\r" + text[:width].ljust(width))
+        self.stream.flush()
+        self._dirty = True
+
+    def clear(self) -> None:
+        """Erase the line (whatever replaces it starts on clean space)."""
+        if self.enabled and self._dirty:
+            self.stream.write("\r" + " " * self.width() + "\r")
+            self.stream.flush()
+            self._dirty = False
 
 
 class SweepProgress:
@@ -57,22 +148,27 @@ class SweepProgress:
         workers: int = 1,
         min_interval: float = 0.1,
     ) -> None:
-        self.stream = stream if stream is not None else sys.stderr
-        if enabled is None:
-            isatty = getattr(self.stream, "isatty", None)
-            enabled = bool(isatty and isatty())
-        self.enabled = enabled
+        self.line = StatusLine(
+            stream=stream, enabled=enabled, min_interval=min_interval
+        )
         self.total = total
         self.workers = max(1, workers)
-        self.min_interval = min_interval
         self.done = 0
         self.hits = 0
         self.lookups = 0
         self.errors = 0
         self._pending: List[str] = []  # dispatch order, unfinished only
         self._started = perf_counter()
-        self._last_render = -1.0
-        self._dirty = False
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the line actually renders (delegated to the renderer)."""
+        return self.line.enabled
+
+    @property
+    def stream(self) -> IO[str]:
+        """The stream the renderer writes to."""
+        return self.line.stream
 
     # -- protocol (always called; cheap when disabled) ------------------
     def dispatch(self, name: str) -> None:
@@ -99,17 +195,9 @@ class SweepProgress:
 
     def close(self) -> None:
         """Erase the progress line (the final summary replaces it)."""
-        if self.enabled and self._dirty:
-            self.stream.write("\r" + " " * self._width() + "\r")
-            self.stream.flush()
+        self.line.clear()
 
     # -- rendering ------------------------------------------------------
-    def _width(self) -> int:
-        try:
-            return max(20, shutil.get_terminal_size().columns - 1)
-        except (ValueError, OSError):  # pragma: no cover - exotic TTYs
-            return 79
-
     def _line(self) -> str:
         elapsed = perf_counter() - self._started
         pct = (100 * self.done) // self.total if self.total else 100
@@ -130,12 +218,4 @@ class SweepProgress:
     def _render(self, force: bool = False) -> None:
         if not self.enabled:
             return
-        now = perf_counter()
-        if not force and now - self._last_render < self.min_interval:
-            return
-        self._last_render = now
-        width = self._width()
-        line = self._line()[:width]
-        self.stream.write("\r" + line.ljust(width))
-        self.stream.flush()
-        self._dirty = True
+        self.line.update(self._line(), force=force)

@@ -57,7 +57,15 @@ from .cache import CompileCache, cache_key
 from .manifest import SweepItem
 from .progress import SweepProgress
 
-__all__ = ["SweepItemResult", "SweepResult", "compile_many"]
+__all__ = [
+    "SweepItemResult",
+    "SweepResult",
+    "compile_item_task",
+    "compile_one",
+    "compile_many",
+    "item_result_from_entry",
+    "pool_worker_init",
+]
 
 _CACHE_OUTCOMES = ("hit", "miss", "corrupt", "store")
 
@@ -87,6 +95,7 @@ class SweepItemResult:
 
     @property
     def ok(self) -> bool:
+        """Whether the item compiled (or rehydrated) successfully."""
         return self.status == "ok"
 
     def summary(self):
@@ -126,14 +135,17 @@ class SweepResult:
 
     @property
     def n_items(self) -> int:
+        """How many manifest items the sweep processed."""
         return len(self.items)
 
     @property
     def n_errors(self) -> int:
+        """How many items failed to compile."""
         return sum(1 for item in self.items if not item.ok)
 
     @property
     def errors(self) -> List[SweepItemResult]:
+        """The failed items, in manifest order."""
         return [item for item in self.items if not item.ok]
 
     def merged_payload(self) -> Dict[str, Any]:
@@ -267,15 +279,15 @@ class _PhaseSpanSink(EventSink):
             )
 
 
-#: Per-process tracing state, installed by :func:`_worker_init` in pool
+#: Per-process tracing state, installed by :func:`pool_worker_init` in pool
 #: workers (and set temporarily by :func:`compile_many` for serial,
 #: in-process sweeps).  Module-level so it survives across the many
-#: ``_compile_item`` calls one pool process serves.
+#: ``compile_item_task`` calls one pool process serves.
 _WORKER_TRACER: Optional[Tracer] = None
 _WORKER_SHARD: Optional[SpanShardWriter] = None
 
 
-def _worker_init(
+def pool_worker_init(
     context: Optional[Tuple[str, Optional[str], float]],
     shard_dir: Optional[str],
 ) -> None:
@@ -299,12 +311,18 @@ def _worker_init(
     _WORKER_SHARD = shard
 
 
-def _compile_item(
+def compile_item_task(
     task: Tuple[int, SweepItem, Optional[str]]
 ) -> Dict[str, Any]:
     """Worker: compile (or rehydrate) one item.  Never raises for
     per-item failures — those become structured error dicts — so one
-    bad loop cannot kill the batch."""
+    bad loop cannot kill the batch.
+
+    This is the module-level (hence picklable) unit of work shared by
+    the sweep pool, the serial in-process path, and ``repro serve``'s
+    long-lived compilation pool; ``task`` is ``(manifest index,
+    SweepItem, cache directory or None)``.
+    """
     index, item, cache_dir = task
     tracer = _WORKER_TRACER if _WORKER_TRACER is not None else NULL_TRACER
     registry = MetricsRegistry()  # process-local; merged by the parent
@@ -388,6 +406,44 @@ def _as_item(entry: Union[SweepItem, Mapping[str, Any]], index: int) -> SweepIte
     return SweepItem.from_mapping(entry, index=index)
 
 
+def item_result_from_entry(entry: Mapping[str, Any]) -> SweepItemResult:
+    """Rehydrate the plain-dict return of :func:`compile_item_task`
+    (it crosses the process boundary as a dict) into a
+    :class:`SweepItemResult`."""
+    return SweepItemResult(
+        index=entry["index"],
+        name=entry["name"],
+        status=entry["status"],
+        payload=entry["payload"],
+        error=entry["error"],
+        cache_hit=entry["cache_hit"],
+        cache_lookup=entry["cache_lookup"],
+        cache_stats=entry["cache_stats"],
+        key=entry["key"],
+        wall=entry["wall"],
+        worker=entry["worker"],
+        phases=entry["phases"],
+    )
+
+
+def compile_one(
+    item: Union[SweepItem, Mapping[str, Any]],
+    cache_dir: Optional[Union[str, pathlib.Path]] = None,
+) -> SweepItemResult:
+    """Compile a single item in-process, optionally through the cache.
+
+    The one-item convenience over :func:`compile_item_task` used by
+    ``repro compile`` and by tests that want the exact payload the
+    service and the sweep driver would produce for the same input.
+    """
+    task = (
+        0,
+        _as_item(item, 0),
+        str(cache_dir) if cache_dir is not None else None,
+    )
+    return item_result_from_entry(compile_item_task(task))
+
+
 def compile_many(
     items: Sequence[Union[SweepItem, Mapping[str, Any]]],
     workers: int = 1,
@@ -456,7 +512,7 @@ def compile_many(
             for task in tasks:
                 if progress is not None:
                     progress.dispatch(task[1].name)
-                entry = _compile_item(task)
+                entry = compile_item_task(task)
                 raw.append(entry)
                 if progress is not None:
                     progress.finish(
@@ -476,12 +532,12 @@ def compile_many(
             )
         with ProcessPoolExecutor(
             max_workers=workers,
-            initializer=_worker_init,
+            initializer=pool_worker_init,
             initargs=initargs,
         ) as pool:
             futures = {}
             for task in tasks:
-                futures[pool.submit(_compile_item, task)] = task[1].name
+                futures[pool.submit(compile_item_task, task)] = task[1].name
                 if progress is not None:
                     progress.dispatch(task[1].name)
             for future in as_completed(futures):
@@ -500,23 +556,7 @@ def compile_many(
         progress.close()
 
     raw.sort(key=lambda result: result["index"])  # manifest order, always
-    results = [
-        SweepItemResult(
-            index=entry["index"],
-            name=entry["name"],
-            status=entry["status"],
-            payload=entry["payload"],
-            error=entry["error"],
-            cache_hit=entry["cache_hit"],
-            cache_lookup=entry["cache_lookup"],
-            cache_stats=entry["cache_stats"],
-            key=entry["key"],
-            wall=entry["wall"],
-            worker=entry["worker"],
-            phases=entry["phases"],
-        )
-        for entry in raw
-    ]
+    results = [item_result_from_entry(entry) for entry in raw]
     result = SweepResult(
         items=results,
         workers=workers,

@@ -30,6 +30,13 @@ Commands
               worker), ``--metrics-out`` an OpenMetrics exposition,
               and a live progress line renders on TTYs
               (``--no-progress`` to suppress);
+``compile``   compile one loop and print its deterministic JSON
+              payload (optionally through the compile cache) — the
+              exact bytes ``repro serve`` answers ``POST /v1/compile``
+              with for the same input;
+``serve``     run the async HTTP compilation service (bounded
+              admission, process-pool workers, OpenMetrics, graceful
+              drain; see ``docs/SERVICE.md`` and ``docs/API.md``);
 ``metrics``   render a ledger record's timing data as OpenMetrics
               text exposition;
 ``bench-check``  compare ``benchmarks/results/*.json`` against the
@@ -336,6 +343,128 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write the sweep's metrics registry in OpenMetrics text "
             "exposition format to FILE ('-' for stdout)"
+        ),
+    )
+
+    compile_cmd = subparsers.add_parser(
+        "compile",
+        help="print the deterministic compiled-loop payload as JSON",
+    )
+    add_common(compile_cmd)
+    compile_cmd.add_argument(
+        "--stages",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compile for an N-stage single clean pipeline",
+    )
+    compile_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "compile-cache directory (default: the REPRO_CACHE "
+            "environment toggle; unset/falsy means no cache)"
+        ),
+    )
+    compile_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compile from scratch, ignoring REPRO_CACHE",
+    )
+    compile_cmd.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the payload to FILE instead of stdout",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async HTTP compilation service",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="address to bind (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="N",
+        help=(
+            "TCP port to listen on (0 lets the kernel pick; the "
+            "'listening on' banner names the real port)"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="compilation process-pool width",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="requests allowed to execute concurrently",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission-queue depth beyond the executing set; requests "
+            "past it get 429 + Retry-After (default: --max-inflight)"
+        ),
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "per-request deadline, queue wait included; expiry is a "
+            "504 and the pool work is cancelled"
+        ),
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "how long a SIGTERM/SIGINT drain waits for in-flight "
+            "requests before closing anyway"
+        ),
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "compile-cache directory (default: the REPRO_CACHE "
+            "environment toggle; unset/falsy means no cache)"
+        ),
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without a compile cache, ignoring REPRO_CACHE",
+    )
+    serve.add_argument(
+        "--span-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write span shards (service + one per pool worker) to DIR "
+            "for end-to-end request tracing"
         ),
     )
 
@@ -772,23 +901,13 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     import tempfile
     import time
 
-    from .batch import (
-        SweepProgress,
-        compile_many,
-        load_manifest,
-        resolve_cache_dir,
-    )
+    from .batch import SweepProgress, compile_many, load_manifest
     from .obs import stable_json
     from .report import render_table
 
     if args.workers < 1:
         raise ReproError(f"--workers must be >= 1, got {args.workers}")
-    if args.no_cache:
-        cache_dir = None
-    elif args.cache_dir is not None:
-        cache_dir = pathlib.Path(args.cache_dir)
-    else:
-        cache_dir = resolve_cache_dir()  # REPRO_CACHE, shared parser
+    cache_dir = _resolve_cli_cache_dir(args)
 
     items = load_manifest(args.manifest)
     tracer = None
@@ -994,6 +1113,93 @@ def _append_sweep_record(
     return append_record(directory / RUNS_FILE, record)
 
 
+def _resolve_cli_cache_dir(args: argparse.Namespace):
+    """The cache-dir precedence shared by ``compile``, ``serve`` and
+    ``sweep``: ``--no-cache`` wins, then ``--cache-dir``, then the
+    ``REPRO_CACHE`` environment toggle (unset/falsy means no cache)."""
+    import pathlib
+
+    from .batch import resolve_cache_dir
+
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return pathlib.Path(args.cache_dir)
+    return resolve_cache_dir()
+
+
+def _cmd_compile(args: argparse.Namespace, out) -> int:
+    """Compile one loop and print the deterministic payload — the
+    exact bytes ``POST /v1/compile`` serves for the same input (the
+    golden test diffs the two)."""
+    import pathlib
+
+    from .batch import SweepItem, compile_one
+    from .obs import stable_json
+
+    cache_dir = _resolve_cli_cache_dir(args)
+    with open(args.loop_file) as handle:
+        source = handle.read()
+    item = SweepItem(
+        name=pathlib.Path(args.loop_file).stem,
+        source=source,
+        scalars=_parse_scalars(args.scalar) or None,
+        pipeline_stages=args.stages,
+        include_io=not args.abstract,
+        engine=args.engine,
+    )
+    result = compile_one(item, cache_dir=cache_dir)
+    if not result.ok:
+        raise ReproError(
+            f"{result.error['type']}: {result.error['message']}"
+        )
+    payload = result.payload
+    text = stable_json(payload, indent=2) + "\n"
+    if args.output is not None:
+        pathlib.Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote compiled payload to {args.output}", file=out)
+    else:
+        out.write(text)
+    if args.ledger is not None:
+        args.ledger_payload = {
+            "loop": payload["loop"],
+            "cycle_time": payload["cycle_time"],
+            "rate": payload["rate"],
+            "initiation_interval": payload["initiation_interval"],
+            "frustum_length": payload["frustum"]["length"],
+            "transient": payload["frustum"]["start_time"],
+            "repeat_time": payload["frustum"]["repeat_time"],
+            "n_transitions": payload["n_transitions"],
+            "net_size": payload["net_size"],
+            "engine": payload["engine"],
+            "cache_hit": result.cache_hit,
+        }
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """Run the HTTP compilation service until a signal drains it."""
+    from .service import ServiceConfig
+    from .service.http import serve
+
+    cache_dir = _resolve_cli_cache_dir(args)
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            request_timeout=args.request_timeout,
+            drain_grace=args.drain_grace,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            span_dir=args.span_dir,
+        )
+    except ValueError as error:
+        raise ReproError(str(error)) from error
+    return serve(config)
+
+
 def _cmd_metrics(args: argparse.Namespace, out) -> int:
     """Render one ledger record's timing section as OpenMetrics text —
     the bridge from the append-only ledger to scrape-based tooling."""
@@ -1142,6 +1348,8 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "dash": _cmd_dash,
     "sweep": _cmd_sweep,
+    "compile": _cmd_compile,
+    "serve": _cmd_serve,
     "metrics": _cmd_metrics,
     "bench-check": _cmd_bench_check,
 }

@@ -65,8 +65,11 @@ FLOAT_DECIMALS = 9
 #: Legal values of a record's ``kind`` field.  ``"sweep"`` records are
 #: appended by ``repro sweep`` / :func:`repro.batch.compile_many` and
 #: carry the deterministic merged batch payload plus (volatile) cache
-#: hit/miss counters in their ``timing.metrics`` section.
-RECORD_KINDS = ("bench", "cli", "sweep")
+#: hit/miss counters in their ``timing.metrics`` section.  ``"serve"``
+#: records come from the service latency bench
+#: (``benchmarks/bench_serve.py``): the payload pins the served bytes
+#: (sha256), the volatile latency percentiles live under ``timing``.
+RECORD_KINDS = ("bench", "cli", "sweep", "serve")
 
 #: Top-level sections the regression gate treats as volatile: allowed
 #: to drift between runs (within tolerance for ``timing``; freely for

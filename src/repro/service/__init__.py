@@ -1,0 +1,35 @@
+"""``repro serve``: the async compilation service.
+
+The package splits along the testing seams:
+
+* :mod:`repro.service.wire` — the versioned wire format: request
+  validation, the error envelope, content types (``docs/API.md`` is
+  the client-facing reference);
+* :mod:`repro.service.app` — :class:`CompileService`, the
+  transport-independent application object: bounded admission with
+  429 + ``Retry-After`` backpressure, per-request deadlines with pool
+  cancellation, the content-addressed cache fast path, graceful
+  drain, OpenMetrics and health probes;
+* :mod:`repro.service.http` — the stdlib-only asyncio HTTP/1.1 shell
+  and the signal-driven shutdown sequence.
+
+Operations live in ``docs/SERVICE.md``; the one contract to remember
+is byte-identity: a served ``POST /v1/compile`` body equals ``repro
+compile``'s stdout for the same input, and a ``POST /v1/sweep`` body
+equals what ``repro sweep -o`` writes.
+"""
+
+from .app import CompileService, Response, ServiceConfig
+from .http import ReproServer, serve
+from .wire import API_VERSION, MAX_SWEEP_ITEMS, WireError
+
+__all__ = [
+    "API_VERSION",
+    "MAX_SWEEP_ITEMS",
+    "CompileService",
+    "Response",
+    "ReproServer",
+    "ServiceConfig",
+    "WireError",
+    "serve",
+]

@@ -1,0 +1,310 @@
+"""The asyncio HTTP/1.1 shell around :class:`~repro.service.app.
+CompileService`.
+
+Deliberately small: the stdlib has no HTTP server that plays well with
+an asyncio application object, so this module implements the minimal
+correct subset the service needs and refuses the rest explicitly.
+
+* **requests** are parsed from an ``asyncio.StreamReader``:
+  request-line, headers, then a ``Content-Length`` body.
+  ``Transfer-Encoding: chunked`` is answered with 501 (the API is
+  small-JSON-in/JSON-out; chunked uploads buy nothing), bodies beyond
+  ``max_body_bytes`` with 413 *before* the body is read;
+* **keep-alive** is supported (``Connection: close`` honoured, and
+  forced while draining so clients migrate);
+* **shutdown** is the graceful-drain sequence pinned by the drain
+  test: stop accepting, 503 new requests, let admitted work finish
+  (rendering progress through the shared
+  :class:`~repro.batch.progress.StatusLine`), then close connections
+  and the pool.  ``SIGTERM`` and ``SIGINT`` both trigger it.
+
+Tests that don't need sockets drive :meth:`CompileService.handle`
+directly; the end-to-end tests and ``repro serve`` come through here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+from ..batch.progress import StatusLine
+from .app import CompileService, Response, ServiceConfig, _error_response
+from .wire import WireError
+
+__all__ = ["ReproServer", "read_request", "render_response", "serve"]
+
+log = logging.getLogger("repro.service.http")
+
+#: Parsed request: ``(method, target, lowercase headers, body)``.
+Request = Tuple[str, str, Dict[str, str], bytes]
+
+#: Header-section guardrails (a client, not a config knob).
+_MAX_HEADERS = 100
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Optional[Request]:
+    """Parse one HTTP/1.1 request off the stream.
+
+    Returns ``None`` on a clean EOF before the request line (the
+    client closed an idle keep-alive connection).  Protocol violations
+    raise :class:`WireError` — the caller renders the envelope and
+    closes.  Header names are lowercased; duplicate headers keep the
+    last value (none of the headers the service reads may legally
+    repeat).
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise WireError(400, "bad-request", "malformed request line")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise WireError(
+            400, "bad-request", f"unsupported protocol version {version!r}"
+        )
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise WireError(400, "bad-request", "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > _MAX_HEADERS:
+            raise WireError(400, "bad-request", "too many headers")
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise WireError(
+            501,
+            "not-implemented",
+            "chunked request bodies are not supported; "
+            "send Content-Length",
+        )
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise WireError(
+            400, "bad-request", "Content-Length is not an integer"
+        ) from None
+    if length < 0:
+        raise WireError(400, "bad-request", "negative Content-Length")
+    if length > max_body_bytes:
+        raise WireError(
+            413,
+            "payload-too-large",
+            f"body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def render_response(response: Response, keep_alive: bool) -> bytes:
+    """Serialize a :class:`Response` as HTTP/1.1 bytes."""
+    lines = [f"HTTP/1.1 {response.status} {response.reason}"]
+    headers: Dict[str, str] = {
+        "Content-Type": response.content_type,
+        "Content-Length": str(len(response.body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    headers.update(response.headers)
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + response.body
+
+
+class ReproServer:
+    """Socket lifecycle for one :class:`CompileService` instance.
+
+    ``run()`` owns the whole lifetime: start the service, listen,
+    announce the bound port (the real one — ``--port 0`` asks the
+    kernel), serve until :meth:`request_shutdown` (or a signal), then
+    drain and close.  Tests construct one, run it in a task, and read
+    :attr:`port`.
+    """
+
+    def __init__(
+        self, config: ServiceConfig, service: Optional[CompileService] = None
+    ) -> None:
+        self.config = config
+        self.service = service if service is not None else CompileService(config)
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._connections: set = set()
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (idempotent; signal-handler safe)."""
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection: request loop until close/drain/error."""
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if peer else "-"
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, self.config.max_body_bytes
+                    )
+                except WireError as error:
+                    writer.write(
+                        render_response(_error_response(error), False)
+                    )
+                    await writer.drain()
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    ValueError,  # StreamReader line-length overrun
+                ):
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                response = await self.service.handle(
+                    method, target, headers, body, client
+                )
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                    and not self.service.draining
+                )
+                writer.write(render_response(response, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _track(self, reader, writer) -> None:
+        """start_server callback: run the connection as a tracked task
+        so shutdown can wait for (then cancel) open connections."""
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    # ------------------------------------------------------------------
+    async def run(self, announce=None) -> bool:
+        """Serve until shutdown; returns ``True`` when the drain was
+        clean (no in-flight work abandoned at grace expiry).
+
+        ``announce`` (default: print to stderr) receives the one-line
+        ``listening on http://host:port`` banner — the port in it is
+        authoritative under ``--port 0``.
+        """
+        self.service.start()
+        try:
+            self._server = await asyncio.start_server(
+                self._track, self.config.host, self.config.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            banner = f"listening on http://{self.config.host}:{self.port}"
+            if announce is not None:
+                announce(banner)
+            else:
+                print(banner, file=sys.stderr, flush=True)
+            log.info("%s", banner)
+            self._install_signal_handlers()
+            await self._shutdown.wait()
+            return await self._drain()
+        finally:
+            self._remove_signal_handlers()
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            self.service.close()
+
+    def _install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (skipped where unsupported)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # non-unix loops
+                return
+
+    def _remove_signal_handlers(self) -> None:
+        """Undo :meth:`_install_signal_handlers` (idempotent)."""
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                return
+
+    async def _drain(self) -> bool:
+        """The graceful-drain sequence (see ``docs/SERVICE.md``).
+
+        Stop accepting, flip the service to draining (healthz 503, new
+        requests 503), wait up to ``drain_grace`` for admitted work to
+        finish — rendering live progress on a TTY — then close any
+        idle connections still open.
+        """
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        self.service.begin_drain()
+        line = StatusLine()
+        grace = self.config.drain_grace
+        deadline = time.monotonic() + grace
+        clean = True
+        while self.service.inflight:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                clean = False
+                break
+            line.update(
+                f"{self.service.drain_status()}, "
+                f"{remaining:.0f}s grace left"
+            )
+            await asyncio.sleep(0.05)
+        line.clear()
+        if clean:
+            # In-flight hit zero between handle() returning and the
+            # response bytes flushing; give writers a beat to finish.
+            if self._connections:
+                await asyncio.wait(set(self._connections), timeout=0.5)
+            log.info("drain complete: %d request(s) served", self.service.served)
+        else:
+            log.warning(
+                "drain grace (%.1fs) expired with %d request(s) in flight",
+                grace,
+                self.service.inflight,
+            )
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        return clean
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking entrypoint behind ``repro serve``: run the server until
+    a signal, exit 0 on a clean drain and 1 when the grace expired."""
+    server = ReproServer(config)
+    try:
+        clean = asyncio.run(server.run())
+    except KeyboardInterrupt:  # signal handlers unavailable (rare)
+        return 0
+    return 0 if clean else 1

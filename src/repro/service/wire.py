@@ -1,0 +1,241 @@
+"""The versioned wire format of ``repro serve`` (see ``docs/API.md``).
+
+Everything a client sends or receives crosses this module, so the
+rules live here in one place:
+
+* **version prefix** — all compilation endpoints hang under ``/v1``;
+  a wire-visible behavior change bumps :data:`API_VERSION` and keeps
+  the old prefix serving until clients migrate;
+* **success bodies are the CLI's bytes** — a ``POST /v1/compile``
+  response body is exactly what ``repro compile`` prints for the same
+  input (``stable_json(payload, indent=2)`` + newline), and a
+  ``POST /v1/sweep`` body is exactly what ``repro sweep -o`` writes.
+  Byte-identity is the service's core contract: a client may diff a
+  served result against a locally compiled one;
+* **errors use one envelope** — ``{"error": {"status", "type",
+  "message", ...}}``; machine-readable ``type`` slugs are stable API,
+  prose ``message`` text is not;
+* **validation never imports the compiler** — a malformed request is
+  rejected from the parsed JSON alone, before any pool or cache work
+  is scheduled.
+
+:class:`WireError` is the module's only exception: handlers raise it
+with a status/type/message triple and the HTTP layer renders the
+envelope.  Compile *failures* (the loop parsed into the pool but the
+pipeline raised) are not wire errors — they come back as structured
+``422`` envelopes carrying the worker's ``{"type", "message"}`` error
+record under ``detail``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ReproError
+from ..batch.manifest import SweepItem
+
+__all__ = [
+    "API_VERSION",
+    "CONTENT_TYPE_JSON",
+    "CONTENT_TYPE_OPENMETRICS",
+    "MAX_SWEEP_ITEMS",
+    "WireError",
+    "error_body",
+    "parse_compile_request",
+    "parse_sweep_request",
+    "split_target",
+]
+
+#: The wire-format version: the ``/v1`` in every compilation endpoint.
+API_VERSION = 1
+
+CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+CONTENT_TYPE_OPENMETRICS = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: ``/v1/sweep`` rejects manifests beyond this many items — one request
+#: must not be able to monopolise the pool for unbounded time.
+MAX_SWEEP_ITEMS = 1024
+
+
+class WireError(Exception):
+    """A request the service refuses, as a status/type/message triple.
+
+    ``extra`` merges additional keys into the error envelope (e.g. the
+    per-item compile error under ``detail``, or ``retry_after_seconds``
+    alongside a 429's ``Retry-After`` header).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.message = message
+        self.extra = dict(extra) if extra else {}
+
+
+def error_body(
+    status: int,
+    kind: str,
+    message: str,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> bytes:
+    """Render the error envelope all non-2xx responses share."""
+    envelope: Dict[str, Any] = {
+        "status": status,
+        "type": kind,
+        "message": message,
+    }
+    if extra:
+        envelope.update(extra)
+    return (
+        json.dumps({"error": envelope}, sort_keys=True, indent=2) + "\n"
+    ).encode("utf-8")
+
+
+def _parse_json_object(body: bytes, what: str) -> Dict[str, Any]:
+    """Decode a request body into a JSON object or raise 400."""
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(
+            400, "bad-request", f"{what}: body is not valid JSON ({error})"
+        ) from error
+    if not isinstance(data, dict):
+        raise WireError(
+            400,
+            "bad-request",
+            f"{what}: body must be a JSON object, got "
+            f"{type(data).__name__}",
+        )
+    return data
+
+
+_COMPILE_KEYS = {
+    "name",
+    "source",
+    "scalars",
+    "pipeline_stages",
+    "include_io",
+    "engine",
+}
+
+
+def _item_from_wire(
+    data: Mapping[str, Any], what: str, index: Optional[int] = None
+) -> SweepItem:
+    """Validate one wire item into a :class:`SweepItem`.
+
+    The wire schema is the manifest schema minus ``file`` references —
+    a network client must not be able to read the server's filesystem.
+    """
+    if "file" in data:
+        raise WireError(
+            400,
+            "bad-request",
+            f"{what}: 'file' references are not accepted over the wire; "
+            "inline the loop text as 'source'",
+        )
+    unknown = sorted(set(data) - _COMPILE_KEYS)
+    if unknown:
+        raise WireError(
+            400,
+            "bad-request",
+            f"{what}: unknown field(s) {', '.join(map(repr, unknown))}",
+        )
+    payload = dict(data)
+    payload.setdefault("name", "request")
+    try:
+        return SweepItem.from_mapping(payload, index=index)
+    except ReproError as error:
+        raise WireError(400, "bad-request", f"{what}: {error}") from error
+    except (TypeError, ValueError) as error:
+        raise WireError(400, "bad-request", f"{what}: {error}") from error
+
+
+def parse_compile_request(body: bytes) -> SweepItem:
+    """Validate a ``POST /v1/compile`` body into one :class:`SweepItem`.
+
+    Required: ``source`` (inline loop text).  Optional: ``name``,
+    ``scalars``, ``pipeline_stages``, ``include_io``, ``engine`` — the
+    same vocabulary as a sweep-manifest item, because the compilation
+    they describe is the same pure function.
+    """
+    data = _parse_json_object(body, "compile request")
+    return _item_from_wire(data, "compile request")
+
+
+def parse_sweep_request(body: bytes) -> List[SweepItem]:
+    """Validate a ``POST /v1/sweep`` body into manifest-ordered items.
+
+    The body is ``{"items": [...]}`` with the same per-item schema as
+    :func:`parse_compile_request`; duplicate names are rejected for the
+    same reason :func:`repro.batch.manifest.load_manifest` rejects them
+    (the merged payload is reported by name).
+    """
+    data = _parse_json_object(body, "sweep request")
+    raw_items = data.get("items")
+    unknown = sorted(set(data) - {"items"})
+    if unknown:
+        raise WireError(
+            400,
+            "bad-request",
+            f"sweep request: unknown field(s) {', '.join(map(repr, unknown))}",
+        )
+    if not isinstance(raw_items, list) or not raw_items:
+        raise WireError(
+            400,
+            "bad-request",
+            "sweep request: 'items' must be a non-empty list",
+        )
+    if len(raw_items) > MAX_SWEEP_ITEMS:
+        raise WireError(
+            413,
+            "payload-too-large",
+            f"sweep request: {len(raw_items)} items exceeds the "
+            f"{MAX_SWEEP_ITEMS}-item limit; split the sweep",
+        )
+    items: List[SweepItem] = []
+    seen: Dict[str, int] = {}
+    for index, entry in enumerate(raw_items):
+        if not isinstance(entry, Mapping):
+            raise WireError(
+                400,
+                "bad-request",
+                f"sweep request item {index}: expected an object, got "
+                f"{type(entry).__name__}",
+            )
+        if "name" not in entry:
+            raise WireError(
+                400,
+                "bad-request",
+                f"sweep request item {index}: 'name' is required in a "
+                "sweep (results are reported by name)",
+            )
+        item = _item_from_wire(entry, f"sweep request item {index}", index)
+        if item.name in seen:
+            raise WireError(
+                400,
+                "bad-request",
+                f"sweep request: duplicate item name {item.name!r} "
+                f"(items {seen[item.name]} and {index})",
+            )
+        seen[item.name] = index
+        items.append(item)
+    return items
+
+
+def split_target(target: str) -> Tuple[str, str]:
+    """Split a request target into ``(path, query)`` (no decoding —
+    the service's routes carry no parameters today, the query string is
+    kept only for the access log)."""
+    path, _, query = target.partition("?")
+    return path, query

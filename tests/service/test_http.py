@@ -1,0 +1,224 @@
+"""The HTTP/1.1 shell: parsing limits, keep-alive, real sockets, and
+the SIGTERM graceful-drain sequence of ``repro serve`` end to end."""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ReproServer, ServiceConfig
+from tests.conftest import L2_SOURCE
+
+
+def request_bytes(method, path, body=b"", extra_headers=()):
+    head = [f"{method} {path} HTTP/1.1", "Host: test"]
+    if body:
+        head.append(f"Content-Length: {len(body)}")
+    head.extend(extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + body
+
+
+def read_response(sock):
+    """Read one Content-Length-framed response off a blocking socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("closed before headers")
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        body += chunk
+    return status, headers, body
+
+
+def run_against_server(scenario, **config_overrides):
+    """Boot a real server on port 0, run ``scenario(port)`` in a
+    thread, and drain the server afterwards."""
+
+    async def main():
+        defaults = dict(port=0, workers=1, drain_grace=2.0)
+        defaults.update(config_overrides)
+        server = ReproServer(ServiceConfig(**defaults))
+        task = asyncio.ensure_future(server.run(announce=lambda _: None))
+        while server.port is None:
+            if task.done():
+                task.result()  # surface startup errors
+            await asyncio.sleep(0.01)
+        try:
+            return await asyncio.to_thread(scenario, server.port)
+        finally:
+            server.request_shutdown()
+            await task
+
+    return asyncio.run(main())
+
+
+class TestProtocol:
+    def test_compile_over_a_real_socket(self):
+        payload = json.dumps({"source": L2_SOURCE}).encode()
+
+        def scenario(port):
+            with socket.create_connection(("127.0.0.1", port), 10) as sock:
+                sock.sendall(request_bytes("POST", "/v1/compile", payload))
+                return read_response(sock)
+
+        status, headers, body = run_against_server(scenario)
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        assert "x-request-id" in headers
+        assert json.loads(body)["loop"] == "L2"
+
+    def test_keep_alive_serves_two_requests(self):
+        def scenario(port):
+            with socket.create_connection(("127.0.0.1", port), 10) as sock:
+                sock.sendall(request_bytes("GET", "/healthz"))
+                first = read_response(sock)
+                sock.sendall(request_bytes("GET", "/healthz"))
+                second = read_response(sock)
+            return first, second
+
+        first, second = run_against_server(scenario)
+        assert first[0] == 200 and second[0] == 200
+        assert first[1]["connection"] == "keep-alive"
+
+    def test_connection_close_is_honoured(self):
+        def scenario(port):
+            with socket.create_connection(("127.0.0.1", port), 10) as sock:
+                sock.sendall(
+                    request_bytes(
+                        "GET", "/healthz",
+                        extra_headers=("Connection: close",),
+                    )
+                )
+                status, headers, _ = read_response(sock)
+                assert sock.recv(1) == b""  # server closed
+            return status, headers
+
+        status, headers = run_against_server(scenario)
+        assert status == 200
+        assert headers["connection"] == "close"
+
+    def test_oversized_body_is_413_before_reading_it(self):
+        def scenario(port):
+            with socket.create_connection(("127.0.0.1", port), 10) as sock:
+                # announce a huge body but never send it: the limit
+                # must trip on the header alone
+                head = (
+                    "POST /v1/compile HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {50 << 20}\r\n\r\n"
+                )
+                sock.sendall(head.encode())
+                return read_response(sock)
+
+        status, _, body = run_against_server(scenario)
+        assert status == 413
+        assert json.loads(body)["error"]["type"] == "payload-too-large"
+
+    def test_chunked_upload_is_501(self):
+        def scenario(port):
+            with socket.create_connection(("127.0.0.1", port), 10) as sock:
+                sock.sendall(
+                    request_bytes(
+                        "POST", "/v1/compile",
+                        extra_headers=("Transfer-Encoding: chunked",),
+                    )
+                )
+                return read_response(sock)
+
+        status, _, body = run_against_server(scenario)
+        assert status == 501
+        assert json.loads(body)["error"]["type"] == "not-implemented"
+
+    def test_malformed_request_line_is_400(self):
+        def scenario(port):
+            with socket.create_connection(("127.0.0.1", port), 10) as sock:
+                sock.sendall(b"GARBAGE\r\n\r\n")
+                return read_response(sock)
+
+        status, _, _ = run_against_server(scenario)
+        assert status == 400
+
+
+class TestServeSubprocess:
+    """``python -m repro serve`` as an operator sees it."""
+
+    def boot(self, tmp_path, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.pop("REPRO_CACHE", None)
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "1",
+                "--drain-grace", "5", *extra_args,
+            ],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        # the banner names the kernel-assigned port
+        deadline = time.monotonic() + 30
+        line = ""
+        while time.monotonic() < deadline:
+            line = process.stderr.readline()
+            if "listening on" in line:
+                break
+        else:  # pragma: no cover - diagnostics on hang
+            process.kill()
+            pytest.fail("server never announced its port")
+        port = int(line.rsplit(":", 1)[1])
+        return process, port
+
+    def http(self, port, method, path, payload=None):
+        body = json.dumps(payload).encode() if payload is not None else b""
+        with socket.create_connection(("127.0.0.1", port), 10) as sock:
+            sock.sendall(request_bytes(method, path, body))
+            return read_response(sock)
+
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        process, port = self.boot(tmp_path)
+        try:
+            status, _, body = self.http(port, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            status, _, _ = self.http(
+                port, "POST", "/v1/compile", {"source": L2_SOURCE}
+            )
+            assert status == 200
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0  # clean drain
+        finally:
+            if process.poll() is None:  # pragma: no cover
+                process.kill()
+                process.wait()
+
+    def test_serve_rejects_bad_config(self):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "0",
+            ],
+            capture_output=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 1
+        assert "workers must be >= 1" in result.stderr

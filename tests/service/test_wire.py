@@ -1,0 +1,159 @@
+"""The wire format: request validation and the error envelope."""
+
+import json
+
+import pytest
+
+from repro.batch import SweepItem
+from repro.service.wire import (
+    MAX_SWEEP_ITEMS,
+    WireError,
+    error_body,
+    parse_compile_request,
+    parse_sweep_request,
+    split_target,
+)
+
+LOOP = "do L:\n  A[i] = A[i-1] + X[i]\n"
+
+
+def body(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+class TestErrorEnvelope:
+    def test_shape(self):
+        data = json.loads(error_body(429, "too-many-requests", "busy"))
+        assert data == {
+            "error": {
+                "status": 429,
+                "type": "too-many-requests",
+                "message": "busy",
+            }
+        }
+
+    def test_extra_keys_merge(self):
+        data = json.loads(
+            error_body(422, "unprocessable", "no", {"detail": {"x": 1}})
+        )
+        assert data["error"]["detail"] == {"x": 1}
+
+    def test_ends_with_newline(self):
+        assert error_body(400, "bad-request", "x").endswith(b"\n")
+
+
+class TestCompileRequest:
+    def test_minimal(self):
+        item = parse_compile_request(body({"source": LOOP}))
+        assert isinstance(item, SweepItem)
+        assert item.source == LOOP
+        assert item.name == "request"
+        assert item.engine == "event"
+
+    def test_full_vocabulary(self):
+        item = parse_compile_request(
+            body(
+                {
+                    "name": "mine",
+                    "source": LOOP,
+                    "scalars": {"Q": 2.0},
+                    "pipeline_stages": 3,
+                    "include_io": False,
+                    "engine": "step",
+                }
+            )
+        )
+        assert item.name == "mine"
+        assert item.scalars == {"Q": 2.0}
+        assert item.pipeline_stages == 3
+        assert item.include_io is False
+        assert item.engine == "step"
+
+    @pytest.mark.parametrize(
+        "raw", [b"", b"not json", b"[1, 2]", b'"loop"', b"\xff\xfe"]
+    )
+    def test_malformed_body_is_400(self, raw):
+        with pytest.raises(WireError) as err:
+            parse_compile_request(raw)
+        assert err.value.status == 400
+        assert err.value.kind == "bad-request"
+
+    def test_file_references_rejected(self):
+        # a network client must never be able to read the server's disk
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"file": "/etc/passwd"}))
+        assert err.value.status == 400
+        assert "'file'" in err.value.message
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"source": LOOP, "loop": "x"}))
+        assert err.value.status == 400
+        assert "'loop'" in err.value.message
+
+    def test_missing_source_is_400(self):
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"name": "x"}))
+        assert err.value.status == 400
+
+
+class TestSweepRequest:
+    def test_items_in_order(self):
+        items = parse_sweep_request(
+            body(
+                {
+                    "items": [
+                        {"name": "a", "source": LOOP},
+                        {"name": "b", "source": LOOP, "engine": "step"},
+                    ]
+                }
+            )
+        )
+        assert [item.name for item in items] == ["a", "b"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"items": []},
+            {"items": "nope"},
+            {"items": [{"name": "a", "source": "x"}], "extra": 1},
+            {"items": [["not", "an", "object"]]},
+            {"items": [{"source": "x"}]},  # sweep items must be named
+            {
+                "items": [
+                    {"name": "dup", "source": "x"},
+                    {"name": "dup", "source": "y"},
+                ]
+            },
+        ],
+    )
+    def test_invalid_manifests_are_400(self, payload):
+        with pytest.raises(WireError) as err:
+            parse_sweep_request(body(payload))
+        assert err.value.status == 400
+
+    def test_oversized_manifest_is_413(self):
+        items = [
+            {"name": f"i{n}", "source": LOOP}
+            for n in range(MAX_SWEEP_ITEMS + 1)
+        ]
+        with pytest.raises(WireError) as err:
+            parse_sweep_request(body({"items": items}))
+        assert err.value.status == 413
+        assert err.value.kind == "payload-too-large"
+
+    def test_file_reference_inside_item_rejected(self):
+        with pytest.raises(WireError) as err:
+            parse_sweep_request(
+                body({"items": [{"name": "a", "file": "loop.txt"}]})
+            )
+        assert err.value.status == 400
+
+
+class TestSplitTarget:
+    def test_plain_path(self):
+        assert split_target("/healthz") == ("/healthz", "")
+
+    def test_query_split(self):
+        assert split_target("/metrics?x=1&y=2") == ("/metrics", "x=1&y=2")

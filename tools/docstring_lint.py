@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fail on missing module/public-definition docstrings (``make verify``).
+
+The service and batch subsystems are operated, not just imported — an
+undocumented public function there is an operations gap, not a style
+nit.  This gate walks the enforced trees with :mod:`ast` and exits
+non-zero listing every module, public function, public class, or
+public method that has no docstring.
+
+"Public" follows the usual convention: names not starting with ``_``.
+Nested (function-local) definitions are skipped — they are
+implementation detail — as are ``__dunder__`` methods other than
+``__init__`` on dataclass-free classes (dunders inherit well-known
+contracts).  Property setters and ``@overload`` stubs carry no new
+contract and are skipped too.
+
+Usage: ``python tools/docstring_lint.py [path ...]`` (defaults to the
+enforced trees: ``src/repro/service`` and ``src/repro/batch``).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+#: The trees where docstrings are load-bearing (see module docstring).
+DEFAULT_TARGETS = ("src/repro/service", "src/repro/batch")
+
+
+def is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def is_skippable(node: ast.AST) -> bool:
+    """Decorated defs whose docstring would duplicate the wrapped
+    contract: property setters/deleters and typing overloads."""
+    for decorator in getattr(node, "decorator_list", []):
+        if isinstance(decorator, ast.Attribute) and decorator.attr in (
+            "setter",
+            "deleter",
+        ):
+            return True
+        if isinstance(decorator, ast.Name) and decorator.id == "overload":
+            return True
+    return False
+
+
+def missing_docstrings(path: pathlib.Path):
+    """Yield ``(lineno, kind, qualname)`` for every offender in a file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        yield 1, "module", path.stem
+
+    def walk(nodes, prefix: str, depth: int):
+        for node in nodes:
+            if isinstance(node, ast.ClassDef):
+                if is_public(node.name):
+                    qual = f"{prefix}{node.name}"
+                    if ast.get_docstring(node) is None:
+                        yield node.lineno, "class", qual
+                    yield from walk(node.body, f"{qual}.", depth + 1)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if depth > 1:
+                    continue  # function-local defs are implementation
+                if not is_public(node.name) or is_skippable(node):
+                    continue
+                if ast.get_docstring(node) is None:
+                    kind = "method" if prefix else "function"
+                    yield node.lineno, kind, f"{prefix}{node.name}"
+
+    yield from walk(tree.body, "", 0)
+
+
+def python_files(target: pathlib.Path):
+    if target.is_file():
+        yield target
+        return
+    yield from sorted(target.rglob("*.py"))
+
+
+def main(argv) -> int:
+    """Lint the given paths (or the default trees); 0 = clean."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    targets = [pathlib.Path(arg) for arg in argv] or [
+        root / target for target in DEFAULT_TARGETS
+    ]
+    offenders = []
+    checked = 0
+    for target in targets:
+        if not target.exists():
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return 2
+        for path in python_files(target):
+            checked += 1
+            for lineno, kind, qualname in missing_docstrings(path):
+                offenders.append((path, lineno, kind, qualname))
+    if offenders:
+        print(f"{len(offenders)} missing docstring(s):")
+        for path, lineno, kind, qualname in offenders:
+            try:
+                shown = path.relative_to(root)
+            except ValueError:
+                shown = path
+            print(f"  {shown}:{lineno}: {kind} {qualname}")
+        return 1
+    print(f"docstring lint: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for ``repro serve`` (the ``make serve-smoke`` gate).
+
+Boots the real server as a subprocess on an ephemeral port, then
+checks the operational contract an instance must honour:
+
+1. ``GET /healthz`` answers 200 with ``status: ok``;
+2. ``POST /v1/compile`` (cold) answers 200 with ``X-Cache: miss`` and
+   a body byte-identical to ``repro compile``'s stdout for the same
+   loop — the service's core contract;
+3. the same request again answers from the cache (``X-Cache: hit``)
+   with identical bytes;
+4. ``GET /metrics`` parses as OpenMetrics and carries the request
+   counters;
+5. ``SIGTERM`` drains cleanly: the process exits 0 within the grace.
+
+Usage: ``python tools/serve_smoke.py [loop-file]`` (defaults to
+``examples/l1.loop``).  Exits non-zero with a diagnostic on the first
+violated check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def fail(message: str) -> None:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def http(port: int, method: str, path: str, payload=None):
+    """One HTTP exchange against the booted server (stdlib sockets,
+    so the smoke exercises the same framing clients will)."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = [f"{method} {path} HTTP/1.1", "Host: smoke", "Connection: close"]
+    if body:
+        head.append(f"Content-Length: {len(body)}")
+    request = ("\r\n".join(head) + "\r\n\r\n").encode() + body
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(request)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    headtext, _, response_body = data.partition(b"\r\n\r\n")
+    lines = headtext.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, response_body
+
+
+def main() -> int:
+    """Run the five checks; 0 only when every one holds."""
+    loop_file = sys.argv[1] if len(sys.argv) > 1 else str(
+        ROOT / "examples" / "l1.loop"
+    )
+    source = pathlib.Path(loop_file).read_text(encoding="utf-8")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env.pop("REPRO_CACHE", None)
+
+    expected = subprocess.run(
+        [sys.executable, "-m", "repro", "compile", loop_file, "--no-cache"],
+        capture_output=True,
+        env=env,
+        timeout=300,
+    )
+    if expected.returncode != 0:
+        fail(f"repro compile failed: {expected.stderr.decode()[:200]}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "2",
+                "--cache-dir", str(pathlib.Path(tmp) / "cache"),
+                "--drain-grace", "10",
+            ],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            port = None
+            while time.monotonic() < deadline:
+                line = process.stderr.readline()
+                if "listening on" in line:
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            if port is None:
+                fail("server never announced its port")
+
+            status, _, body = http(port, "GET", "/healthz")
+            if status != 200 or json.loads(body)["status"] != "ok":
+                fail(f"healthz: status={status} body={body[:120]!r}")
+            print(f"serve-smoke: healthz ok on port {port}")
+
+            status, headers, body = http(
+                port, "POST", "/v1/compile", {"source": source}
+            )
+            if status != 200:
+                fail(f"cold compile: status={status} body={body[:200]!r}")
+            if headers.get("x-cache") != "miss":
+                fail(f"cold compile: X-Cache={headers.get('x-cache')!r}")
+            if body != expected.stdout:
+                fail("cold compile body differs from `repro compile` stdout")
+            print(f"serve-smoke: cold compile byte-identical ({len(body)} bytes)")
+
+            status, headers, warm = http(
+                port, "POST", "/v1/compile", {"source": source}
+            )
+            if status != 200 or headers.get("x-cache") != "hit":
+                fail(f"warm compile: status={status} X-Cache={headers.get('x-cache')!r}")
+            if warm != expected.stdout:
+                fail("warm compile body differs from `repro compile` stdout")
+            print("serve-smoke: warm compile served from cache, same bytes")
+
+            status, _, body = http(port, "GET", "/metrics")
+            if status != 200:
+                fail(f"metrics: status={status}")
+            sys.path.insert(0, str(ROOT / "src"))
+            from repro.obs import parse_exposition
+
+            parse_exposition(body.decode("utf-8"))
+            if b"service_requests_compile_total" not in body:
+                fail("metrics: request counters missing from exposition")
+            print("serve-smoke: metrics exposition is valid OpenMetrics")
+
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+            if code != 0:
+                fail(f"SIGTERM drain exited {code}")
+            print("serve-smoke: SIGTERM drained cleanly")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+    print("serve-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
