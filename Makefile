@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke sweep-smoke trace-smoke explain-smoke serve-smoke doctest linkcheck docstring-lint bench bench-check baseline dash clean
+.PHONY: verify test smoke sweep-smoke trace-smoke explain-smoke serve-smoke unroll-smoke doctest linkcheck docstring-lint bench bench-check baseline dash clean
 
-verify: test doctest linkcheck docstring-lint smoke sweep-smoke trace-smoke explain-smoke serve-smoke
+verify: test doctest linkcheck docstring-lint smoke sweep-smoke trace-smoke explain-smoke serve-smoke unroll-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +51,11 @@ trace-smoke:
 # `repro compile`, OpenMetrics, and a clean SIGTERM drain
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
+
+# rate-optimal unrolling end to end: two fractional-γ loops compiled
+# with `--unroll auto` must report achieved == γ* Fraction-exact
+unroll-smoke:
+	$(PYTHON) tools/unroll_smoke.py
 
 # causal blame end to end: the observed critical path must match a
 # structural critical cycle, the flow trace must be lint-clean, and the

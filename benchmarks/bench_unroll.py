@@ -1,0 +1,143 @@
+"""Rate-optimal unrolling — achieved vs. optimal rate closing to 1.
+
+The base (``U = 1``) SDSP-PN achieves its own optimal rate exactly, but
+the one-token-per-arc acknowledgement discipline caps that rate below
+the *dependence bound* ``γ*`` whenever the binding cycle is a buffer,
+not a recurrence.  Unrolling with ``unroll="auto"`` picks the smallest
+replication factor whose steady state issues base iterations at ``γ*``
+exactly — this bench regenerates the closure table over a spread of
+loop shapes:
+
+* ``L1`` (Fig. 1, DOALL): ack-bound at 1/2, closes to 1 at ``U = 2``;
+* ``L2`` (Fig. 2, loop-carried): the recurrence already binds at 1/3 —
+  nothing to close, ``U = 1``;
+* ``interleave``: two distance-2-style chains through separate arrays,
+  ``γ* = 2/3`` with denominator > 1, closes from 1/3 at ``U = 2``;
+* ``frac5``: a five-statement recurrence with two carried values,
+  ``γ = 2/5`` — a natively fractional rate achieved at ``U = 1`` with a
+  2-periodic kernel (II = 5, two iterations per kernel).
+
+The timed benchmark measures the full auto-unrolled compile of the
+interleave loop (analysis sweep + unrolled simulation + verification).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from benchmarks.conftest import (
+    L1_SOURCE,
+    L2_SOURCE,
+    phase_timings,
+    save_artifact,
+    save_json,
+)
+from repro import compile_loop
+from repro.report import render_rate_closure
+
+INTERLEAVE_SOURCE = """
+do interleave:
+    A[i] = C[i-1] + IN[i]
+    B[i] = A[i-1] * 2
+    C[i] = B[i] + 1
+"""
+
+FRAC5_SOURCE = """
+do frac5:
+    A[i] = E[i-1] + IN[i]
+    B[i] = A[i] * 2
+    C[i] = B[i-1] * 3
+    D[i] = C[i] + 1
+    E[i] = D[i] * 5
+"""
+
+LOOPS = [
+    ("L1", L1_SOURCE),
+    ("L2", L2_SOURCE),
+    ("interleave", INTERLEAVE_SOURCE),
+    ("frac5", FRAC5_SOURCE),
+]
+
+
+def test_unroll_closure_report(benchmark, phase_registry):
+    benchmark.group = "reports"
+
+    def build():
+        rows = []
+        for name, source in LOOPS:
+            base = compile_loop(source, include_io=False)
+            auto = compile_loop(source, include_io=False, unroll="auto")
+            rows.append(
+                {
+                    "loop": name,
+                    "base_rate": base.achieved_rate,
+                    "dependence_bound": auto.dependence_bound,
+                    "unroll": auto.unroll,
+                    "achieved_rate": auto.achieved_rate,
+                    "initiation_interval": (
+                        auto.schedule.initiation_interval
+                    ),
+                    "iterations_per_kernel": (
+                        auto.schedule.iterations_per_kernel
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    save_artifact(
+        "unroll_closure.txt",
+        render_rate_closure(
+            rows,
+            title=(
+                "Achieved vs. optimal rate: unroll='auto' closes every "
+                "gap to the dependence bound"
+            ),
+        ),
+    )
+    save_json(
+        "unroll_closure.json",
+        {
+            "bench": "unroll_closure",
+            "loops": [
+                {
+                    "loop": row["loop"],
+                    "base_rate": row["base_rate"],
+                    "dependence_bound": row["dependence_bound"],
+                    "unroll": row["unroll"],
+                    "achieved_rate": row["achieved_rate"],
+                    "initiation_interval": row["initiation_interval"],
+                    "iterations_per_kernel": row["iterations_per_kernel"],
+                }
+                for row in rows
+            ],
+        },
+        phases=phase_timings(phase_registry),
+    )
+
+    by_loop = {row["loop"]: row for row in rows}
+    # every auto row closes its gap exactly (Fraction equality)
+    for row in rows:
+        assert row["achieved_rate"] == row["dependence_bound"]
+    # the DOALL closes 1/2 -> 1 at U=2; the recurrence was never open
+    assert by_loop["L1"]["base_rate"] == Fraction(1, 2)
+    assert by_loop["L1"]["unroll"] == 2
+    assert by_loop["L1"]["achieved_rate"] == 1
+    assert by_loop["L2"]["unroll"] == 1
+    assert by_loop["L2"]["achieved_rate"] == Fraction(1, 3)
+    # two fractional-γ loops hit their p/q bound exactly
+    assert by_loop["interleave"]["base_rate"] == Fraction(1, 3)
+    assert by_loop["interleave"]["achieved_rate"] == Fraction(2, 3)
+    assert by_loop["frac5"]["achieved_rate"] == Fraction(2, 5)
+    assert by_loop["frac5"]["iterations_per_kernel"] == 2
+
+
+def test_unroll_auto_compile_speed(benchmark):
+    benchmark.group = "unroll: auto-compile interleave"
+    result = benchmark(
+        lambda: compile_loop(
+            INTERLEAVE_SOURCE, include_io=False, unroll="auto"
+        )
+    )
+    assert result.achieved_rate == Fraction(2, 3)

@@ -8,7 +8,7 @@ schedule steps, rate as an exact ``p/q``) are canonical by
 construction.  So the cache maps
 
     sha256(stable_json({source, scalars, pipeline_stages, include_io,
-                        engine, cache schema version}))
+                        engine, unroll, cache schema version}))
 
 to one JSON file holding the payload plus an embedded payload hash.
 
@@ -53,7 +53,12 @@ __all__ = [
 
 #: Bump whenever the cached payload layout or the key derivation
 #: changes — old entries then simply stop matching and are recompiled.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2: ``unroll`` joined the key inputs and the payload gained
+#: ``payload_schema``/``unroll``/``achieved_rate``/``dependence_bound``
+#: fields, so a warm cache written by a pre-unrolling build misses
+#: cleanly instead of answering a ``U = q`` request with a ``U = 1``
+#: payload.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment toggle: falsy values disable the cache, truthy values
 #: select :func:`default_cache_dir`, anything else is an explicit
@@ -90,10 +95,16 @@ def cache_key(
     pipeline_stages: Optional[int] = None,
     include_io: bool = True,
     engine: str = "event",
+    unroll: Union[int, str] = 1,
 ) -> str:
     """The content address of one compilation: a sha256 over the
     canonical JSON of every input ``compile_loop`` result depends on,
-    plus the cache schema version."""
+    plus the cache schema version.
+
+    ``unroll`` enters the key as requested — ``"auto"`` and the factor
+    it happens to resolve to are distinct addresses, because the
+    resolution depends on the analysis, not only on the inputs hashed
+    here."""
     canonical = stable_json(
         {
             "cache_schema": CACHE_SCHEMA_VERSION,
@@ -106,6 +117,7 @@ def cache_key(
             "pipeline_stages": pipeline_stages,
             "include_io": bool(include_io),
             "engine": engine,
+            "unroll": unroll,
         }
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -190,7 +202,14 @@ class CompileCache:
             return None
         if not isinstance(entry, dict):
             return None
-        if entry.get("cache_schema") != CACHE_SCHEMA_VERSION:
+        schema = entry.get("cache_schema")
+        # Any mismatch is a miss, but the two directions differ in
+        # kind: an *older* entry is stale (recompile and overwrite), a
+        # *newer* one was written by a later build whose payload layout
+        # this reader cannot interpret — serving it would smuggle
+        # fields past `CompiledLoopSummary.from_payload`'s version
+        # gate.  Both are rejected here, before the payload is touched.
+        if not isinstance(schema, int) or schema != CACHE_SCHEMA_VERSION:
             return None
         if entry.get("key") != key:
             return None

@@ -10,7 +10,8 @@ A manifest is a JSON file — either a bare list of items or
       "scalars": {"k": 3.0},            // optional
       "pipeline_stages": 8,             // optional (SDSP-SCP-PN)
       "include_io": true,               // optional, default true
-      "engine": "event"                 // optional, default "event"
+      "engine": "event",                // optional, default "event"
+      "unroll": 2                       // optional, default 1; int or "auto"
     }
 
 :func:`scaling_items` generates the scaling-family manifest
@@ -27,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..errors import ReproError
+from ..loops.unroll import validate_unroll
 
 __all__ = ["SweepItem", "load_manifest", "scaling_items", "chain_source"]
 
@@ -47,6 +49,9 @@ class SweepItem:
     pipeline_stages: Optional[int] = None
     include_io: bool = True
     engine: str = "event"
+    #: Unroll factor: a positive int up to
+    #: :data:`repro.loops.unroll.MAX_UNROLL`, or ``"auto"``.
+    unroll: Union[int, str] = 1
 
     @classmethod
     def from_mapping(
@@ -94,6 +99,9 @@ class SweepItem:
                 f"{where} ({name!r}): engine must be 'step' or 'event', "
                 f"got {engine!r}"
             )
+        unroll = validate_unroll(
+            data.get("unroll", 1), where=f"{where} ({name!r}): 'unroll'"
+        )
         return cls(
             name=name,
             source=str(source),
@@ -101,6 +109,7 @@ class SweepItem:
             pipeline_stages=stages,
             include_io=bool(data.get("include_io", True)),
             engine=engine,
+            unroll=unroll,
         )
 
 

@@ -337,6 +337,7 @@ def compile_item_task(
         pipeline_stages=item.pipeline_stages,
         include_io=item.include_io,
         engine=item.engine,
+        unroll=item.unroll,
     )
     payload: Optional[Dict[str, Any]] = None
     error: Optional[Dict[str, str]] = None
@@ -368,6 +369,7 @@ def compile_item_task(
                         pipeline_stages=item.pipeline_stages,
                         include_io=item.include_io,
                         engine=item.engine,
+                        unroll=item.unroll,
                         **({"instrumentation": obs} if obs is not None else {}),
                     )
             except Exception as exc:  # noqa: BLE001 — isolate *any* failure

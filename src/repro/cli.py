@@ -121,6 +121,19 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_unroll(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--unroll",
+            type=_unroll_value,
+            default=1,
+            metavar="U",
+            help=(
+                "replicate the loop body U times (an integer, or 'auto' "
+                "for the smallest factor whose per-instruction rate "
+                "meets the dependence bound exactly)"
+            ),
+        )
+
     schedule = subparsers.add_parser(
         "schedule", help="derive and print the time-optimal schedule"
     )
@@ -132,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="also schedule for an N-stage single clean pipeline",
     )
+    add_unroll(schedule)
 
     analyze = subparsers.add_parser(
         "analyze", help="dependences, critical cycles, rates, detection"
@@ -358,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="compile for an N-stage single clean pipeline",
     )
+    add_unroll(compile_cmd)
     compile_cmd.add_argument(
         "--cache-dir",
         default=None,
@@ -546,6 +561,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _unroll_value(text: str):
+    """``--unroll`` values: an integer or the literal ``auto``.  Range
+    and cap validation happens downstream (shared with manifests and
+    the service wire layer), so every entry point rejects the same
+    values with the same message."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+
+
 def _parse_scalars(pairs: Sequence[str]) -> Dict[str, float]:
     scalars: Dict[str, float] = {}
     for pair in pairs:
@@ -581,6 +611,7 @@ def _compile(args: argparse.Namespace, stages: Optional[int] = None):
         include_io=not args.abstract,
         instrumentation=_instrumentation(args),
         engine=getattr(args, "engine", "event"),
+        unroll=getattr(args, "unroll", 1),
     )
     if getattr(args, "ledger", None) is not None:
         # stable facts for the run ledger; main() appends the record
@@ -589,6 +620,9 @@ def _compile(args: argparse.Namespace, stages: Optional[int] = None):
             "loop": result.translation.loop.name,
             "cycle_time": Fraction(1, 1) / result.optimal_rate,
             "rate": result.optimal_rate,
+            "unroll": result.unroll,
+            "achieved_rate": result.achieved_rate,
+            "dependence_bound": result.dependence_bound,
             "initiation_interval": result.schedule.initiation_interval,
             "frustum_length": result.frustum.length,
             "transient": result.frustum.start_time,
@@ -610,6 +644,13 @@ def _cmd_schedule(args: argparse.Namespace, out) -> int:
         f"{result.frustum.repeat_time} (n = {result.pn.size})",
         file=out,
     )
+    if result.unroll > 1:
+        print(
+            f"unrolled x{result.unroll}: per-instruction rate "
+            f"{result.achieved_rate} (dependence bound "
+            f"{result.dependence_bound})",
+            file=out,
+        )
     if result.scp_schedule is not None:
         print(
             f"\n--- {args.stages}-stage clean pipeline ---", file=out
@@ -1147,6 +1188,7 @@ def _cmd_compile(args: argparse.Namespace, out) -> int:
         pipeline_stages=args.stages,
         include_io=not args.abstract,
         engine=args.engine,
+        unroll=args.unroll,
     )
     result = compile_one(item, cache_dir=cache_dir)
     if not result.ok:
@@ -1165,6 +1207,9 @@ def _cmd_compile(args: argparse.Namespace, out) -> int:
             "loop": payload["loop"],
             "cycle_time": payload["cycle_time"],
             "rate": payload["rate"],
+            "unroll": payload.get("unroll", 1),
+            "achieved_rate": payload.get("achieved_rate"),
+            "dependence_bound": payload.get("dependence_bound"),
             "initiation_interval": payload["initiation_interval"],
             "frustum_length": payload["frustum"]["length"],
             "transient": payload["frustum"]["start_time"],

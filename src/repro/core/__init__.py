@@ -27,6 +27,8 @@ from .scp import RUN_PLACE, SdspScpNet, build_sdsp_scp_pn
 from .frustum import SteadyStateNet, steady_state_equivalent_net
 from .schedule import PipelinedSchedule, ScheduledOp, derive_schedule
 from .rate import (
+    dependence_bound_rate,
+    dependence_cycle_time,
     critical_cycles,
     frustum_rate,
     optimal_rate,
@@ -78,6 +80,8 @@ __all__ = [
     "ScheduledOp",
     "derive_schedule",
     "critical_cycles",
+    "dependence_bound_rate",
+    "dependence_cycle_time",
     "frustum_rate",
     "optimal_rate",
     "pipeline_utilization",

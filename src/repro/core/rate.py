@@ -30,12 +30,14 @@ from ..petrinet.analysis import CriticalCycleReport, critical_cycle_report
 from ..petrinet.behavior import CyclicFrustum
 from ..petrinet.howard import cycle_time_howard
 from .scp import SdspScpNet
-from .sdsp_pn import SdspPetriNet
+from .sdsp_pn import SdspPetriNet, build_sdsp_pn
 
 __all__ = [
     "optimal_rate",
     "critical_cycles",
     "scp_rate_upper_bound",
+    "dependence_cycle_time",
+    "dependence_bound_rate",
     "frustum_rate",
     "pipeline_utilization",
 ]
@@ -73,6 +75,44 @@ def optimal_rate(pn: SdspPetriNet) -> Fraction:
     return 1 / cycle_time_howard(pn.view(), pn.durations)
 
 
+@timed("core.dependence_cycle_time")
+def dependence_cycle_time(source, include_io: bool = True,
+                          durations=None) -> Fraction:
+    """Cycle time of the *dependence subnet*: data places only, the
+    acknowledgement discipline stripped.
+
+    Howard's policy iteration models non-reentrance as an implicit
+    self-loop of weight ``τ(t)`` and height 1 per transition, so the
+    analysis stays well-defined even when the data arcs alone are
+    acyclic (a DOALL body): the answer is then just ``max τ``.  For a
+    loop-carried body it is the classic recurrence bound
+    ``max over data cycles of Ω(C)/M(C)``.
+
+    ``source`` is an :class:`~repro.core.sdsp.Sdsp` or a raw
+    :class:`~repro.dataflow.graph.DataflowGraph` (validated on the way
+    in), mirroring :func:`~repro.core.sdsp_pn.build_sdsp_pn`.
+    """
+    pn = build_sdsp_pn(
+        source,
+        durations=durations,
+        include_acks=False,
+        include_io=include_io,
+    )
+    return cycle_time_howard(pn.view(), pn.durations)
+
+
+def dependence_bound_rate(source, include_io: bool = True,
+                          durations=None) -> Fraction:
+    """The dependence bound ``γ* = 1 / dependence_cycle_time``: the
+    hard per-base-instruction rate ceiling the loop-carried dependences
+    impose, independent of any buffering discipline.  This is the rate
+    the unrolled loop closes on (``compile_loop(..., unroll="auto")``
+    picks the smallest factor that reaches it exactly)."""
+    return 1 / dependence_cycle_time(
+        source, include_io=include_io, durations=durations
+    )
+
+
 def scp_rate_upper_bound(scp: SdspScpNet) -> Fraction:
     """Theorem 5.2.2: with ``n`` instructions sharing one clean
     pipeline, no instruction's rate can exceed ``1/n`` — one issue slot
@@ -84,7 +124,23 @@ def scp_rate_upper_bound(scp: SdspScpNet) -> Fraction:
 def frustum_rate(frustum: CyclicFrustum, instruction: str) -> Fraction:
     """Measured steady-state rate of one instruction (the Tables 1/2
     *computation rate* column): frustum firing count over frustum
-    length."""
+    length.
+
+    Analysis-path failures surface as :class:`~repro.errors.
+    AnalysisError`: an empty frustum has no steady state to measure,
+    and an instruction the frustum never recorded is a caller bug (the
+    old behavior silently reported rate 0 for a typo'd name).
+    """
+    if frustum.length == 0:
+        raise AnalysisError(
+            f"cannot measure the rate of {instruction!r}: the frustum "
+            "is empty (no steady-state period was detected)"
+        )
+    if instruction not in frustum.firing_counts:
+        raise AnalysisError(
+            f"instruction {instruction!r} does not fire in the frustum; "
+            f"known instructions: {sorted(frustum.firing_counts)}"
+        )
     return frustum.computation_rate(instruction)
 
 
@@ -95,9 +151,11 @@ def pipeline_utilization(scp: SdspScpNet, frustum: CyclicFrustum) -> Fraction:
 
     Equals 1 exactly when the Theorem 5.2.2 bound is met.
     """
+    if frustum.length == 0:
+        raise AnalysisError(
+            "cannot compute pipeline utilization on an empty frustum"
+        )
     issue_cycles = sum(
         frustum.firing_counts.get(t, 0) for t in scp.sdsp_transitions
     )
-    if frustum.length == 0:
-        raise ZeroDivisionError("empty frustum")
     return Fraction(issue_cycles, frustum.length)

@@ -7,6 +7,13 @@ from .dependence import Dependence, DependenceInfo, analyze
 from .translate import TranslationResult, translate
 from .reference import reference_execute
 from .livermore import KERNELS, LivermoreKernel, kernel, paper_kernel_set
+from .unroll import (
+    MAX_UNROLL,
+    base_instruction,
+    copy_name,
+    unroll_graph,
+    validate_unroll,
+)
 
 __all__ = [
     "ArrayRef", "Assign", "Binary", "Const", "Expr", "Loop", "ScalarRef",
@@ -14,4 +21,6 @@ __all__ = [
     "Dependence", "DependenceInfo", "analyze",
     "TranslationResult", "translate", "reference_execute",
     "KERNELS", "LivermoreKernel", "kernel", "paper_kernel_set",
+    "MAX_UNROLL", "base_instruction", "copy_name", "unroll_graph",
+    "validate_unroll",
 ]

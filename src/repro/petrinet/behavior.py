@@ -150,10 +150,20 @@ class CyclicFrustum:
 
     def computation_rate(self, transition: str) -> Fraction:
         """Average firings per time unit inside the frustum — the
-        paper's *computation rate* column."""
+        paper's *computation rate* column.
+
+        A transition the frustum never recorded raises instead of
+        reporting a silent rate of 0 — the only way a live marked
+        graph's steady state omits a transition is a caller asking
+        about the wrong net."""
         if self.length == 0:
             raise SimulationError("empty frustum has no computation rate")
-        return Fraction(self.firing_counts.get(transition, 0), self.length)
+        if transition not in self.firing_counts:
+            raise SimulationError(
+                f"transition {transition!r} does not appear in the "
+                "frustum's firing counts"
+            )
+        return Fraction(self.firing_counts[transition], self.length)
 
     def uniform_rate(self) -> Fraction:
         """The common computation rate (requires uniform counts)."""

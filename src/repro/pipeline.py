@@ -21,26 +21,47 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from .core.bounds import theoretical_bounds, TheoreticalBounds
-from .core.rate import optimal_rate, pipeline_utilization, scp_rate_upper_bound
+from .core.rate import (
+    dependence_bound_rate,
+    optimal_rate,
+    pipeline_utilization,
+    scp_rate_upper_bound,
+)
 from .core.schedule import PipelinedSchedule, ScheduledOp, derive_schedule
 from .core.scp import SdspScpNet, build_sdsp_scp_pn
 from .core.sdsp_pn import SdspPetriNet, build_sdsp_pn
 from .core.verify import verify_schedule
+from .errors import AnalysisError, ReproError
 from .loops.parser import parse_loop
 from .loops.translate import TranslationResult, translate
+from .loops.unroll import (
+    MAX_UNROLL,
+    base_firing_totals,
+    unroll_graph,
+    validate_unroll,
+)
 from .machine.policies import FifoRunPlacePolicy
 from .obs.events import Instrumentation, NULL_INSTRUMENTATION
 from .petrinet.behavior import BehaviorGraph, CyclicFrustum, detect_frustum
 
 __all__ = [
+    "PAYLOAD_SCHEMA_VERSION",
     "CompiledLoop",
     "CompiledLoopSummary",
     "FrustumSummary",
     "compile_loop",
 ]
+
+#: Version of the :meth:`CompiledLoopSummary.payload` layout.  Version
+#: 2 added ``unroll`` / ``achieved_rate`` / ``dependence_bound`` (and
+#: this field itself); version-1 payloads — which carry none of them —
+#: still load with ``unroll = 1`` defaults, while payloads *newer* than
+#: the reader are rejected outright (a reader must never silently
+#: reinterpret fields it does not know about).
+PAYLOAD_SCHEMA_VERSION = 2
 
 
 def _fraction_from(value: Any) -> Fraction:
@@ -166,6 +187,9 @@ class CompiledLoopSummary:
     scp_utilization: Optional[Fraction] = None
     scp_frustum: Optional[FrustumSummary] = None
     scp_schedule: Optional[PipelinedSchedule] = None
+    unroll: int = 1
+    achieved_rate: Optional[Fraction] = None
+    dependence_bound: Optional[Fraction] = None
 
     @property
     def optimal_rate(self) -> Fraction:
@@ -181,10 +205,14 @@ class CompiledLoopSummary:
         from .obs.schema import normalize_payload
 
         raw: Dict[str, Any] = {
+            "payload_schema": PAYLOAD_SCHEMA_VERSION,
             "loop": self.loop,
             "engine": self.engine,
             "include_io": self.include_io,
             "pipeline_stages": self.pipeline_stages,
+            "unroll": self.unroll,
+            "achieved_rate": self.achieved_rate,
+            "dependence_bound": self.dependence_bound,
             "rate": self.rate,
             "cycle_time": self.cycle_time,
             "initiation_interval": self.schedule.initiation_interval,
@@ -220,11 +248,33 @@ class CompiledLoopSummary:
     @classmethod
     def from_payload(cls, data: Mapping[str, Any]) -> "CompiledLoopSummary":
         """Rehydrate a summary from a :meth:`payload` dict (e.g. a
-        compile-cache entry) without re-simulating anything."""
+        compile-cache entry) without re-simulating anything.
+
+        Payloads from schema version 1 (pre-unrolling builds carry no
+        ``payload_schema`` field at all) load with ``unroll = 1``
+        defaults; payloads newer than this reader are refused — their
+        unknown fields could change the meaning of the known ones.
+        """
+        schema = int(data.get("payload_schema", 1))
+        if schema > PAYLOAD_SCHEMA_VERSION:
+            raise ReproError(
+                f"compiled-loop payload has schema version {schema}, "
+                f"newer than this reader ({PAYLOAD_SCHEMA_VERSION}); "
+                "upgrade before loading it"
+            )
         bounds = data["bounds"]
         scp = data.get("scp")
         stages = data.get("pipeline_stages")
+        achieved = data.get("achieved_rate")
+        dependence = data.get("dependence_bound")
         return cls(
+            unroll=int(data.get("unroll", 1)),
+            achieved_rate=(
+                _fraction_from(achieved) if achieved is not None else None
+            ),
+            dependence_bound=(
+                _fraction_from(dependence) if dependence is not None else None
+            ),
             loop=str(data["loop"]),
             engine=str(data["engine"]),
             include_io=bool(data["include_io"]),
@@ -280,6 +330,9 @@ class CompiledLoop:
     scp_frustum: Optional[CyclicFrustum] = None
     scp_behavior: Optional[BehaviorGraph] = None
     scp_schedule: Optional[PipelinedSchedule] = None
+    unroll: int = 1
+    achieved_rate: Optional[Fraction] = None
+    dependence_bound: Optional[Fraction] = None
 
     @property
     def optimal_rate(self) -> Fraction:
@@ -308,6 +361,9 @@ class CompiledLoop:
             engine=self.engine,
             include_io=self.include_io,
             pipeline_stages=self.scp.stages if self.scp is not None else None,
+            unroll=self.unroll,
+            achieved_rate=self.achieved_rate,
+            dependence_bound=self.dependence_bound,
             rate=self.optimal_rate,
             bounds=self.bounds,
             net_size=self.pn.size,
@@ -324,6 +380,60 @@ class CompiledLoop:
         )
 
 
+def _select_unroll(graph, bound: Fraction, include_io: bool) -> int:
+    """The smallest unroll factor whose unrolled net is rate-optimal
+    per *base* instruction: ``U * optimal_rate(unroll(g, U)) ==
+    dependence_bound_rate(g)`` (Howard-only analysis per candidate; no
+    simulation happens until the factor is chosen)."""
+    for factor in range(1, MAX_UNROLL + 1):
+        candidate = build_sdsp_pn(
+            unroll_graph(graph, factor), include_io=include_io
+        )
+        if factor * optimal_rate(candidate) == bound:
+            return factor
+    raise AnalysisError(
+        f"no unroll factor up to {MAX_UNROLL} closes the rate gap to "
+        f"the dependence bound {bound}; pass an explicit unroll factor"
+    )
+
+
+def _verify_unrolled_rate(
+    pn: SdspPetriNet,
+    frustum: CyclicFrustum,
+    factor: int,
+    rate: Fraction,
+    target: Optional[Fraction],
+) -> Fraction:
+    """The hard acceptance check of the unrolling path: every *base*
+    instruction's steady-state rate (its copies' frustum firings summed
+    over the frustum length) must equal ``factor * rate`` exactly — and
+    when ``target`` is set (``unroll="auto"``), that value must equal
+    the dependence bound ``γ*`` exactly too.  Any miss is an
+    :class:`~repro.errors.AnalysisError`, never a silent under-achieve.
+    """
+    if frustum.length == 0:
+        raise AnalysisError("detected frustum is empty; no rate to verify")
+    expected = factor * rate
+    totals = base_firing_totals(
+        frustum.firing_counts, pn.net.transition_names
+    )
+    for base, count in sorted(totals.items()):
+        achieved = Fraction(count, frustum.length)
+        if achieved != expected:
+            raise AnalysisError(
+                f"unrolled (x{factor}) frustum under-achieves: base "
+                f"instruction {base!r} runs at {achieved} per cycle, "
+                f"expected exactly {expected}"
+            )
+    if target is not None and expected != target:
+        raise AnalysisError(
+            f"unroll='auto' selected factor {factor} but the achieved "
+            f"per-instruction rate {expected} does not equal the "
+            f"dependence bound {target}"
+        )
+    return expected
+
+
 def compile_loop(
     source: str,
     scalars: Optional[Mapping[str, float]] = None,
@@ -333,6 +443,7 @@ def compile_loop(
     verify_iterations: int = 12,
     instrumentation: Optional[Instrumentation] = None,
     engine: str = "event",
+    unroll: Union[int, str] = 1,
 ) -> CompiledLoop:
     """Compile loop source text through the whole pipeline.
 
@@ -365,14 +476,41 @@ def compile_loop(
         firings; ``"step"`` advances one time unit at a time.  Both
         produce bit-identical frusta and schedules (cross-validated by
         the test suite); the choice only affects detection cost.
+    unroll:
+        Loop unrolling factor (:mod:`repro.loops.unroll`).  ``1``
+        (default) compiles the base body exactly as before.  An integer
+        ``U`` (up to :data:`~repro.loops.unroll.MAX_UNROLL`) replicates
+        the body ``U`` times with the mod-U distance rewiring rule;
+        ``"auto"`` picks the smallest ``U`` whose per-base-instruction
+        rate equals the dependence bound ``γ*`` exactly.  Either way
+        the detected steady state is verified to achieve ``U *
+        optimal_rate`` per base instruction (exact
+        :class:`~fractions.Fraction` equality) — a miss raises
+        :class:`~repro.errors.AnalysisError`.
     """
     obs = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+    requested = validate_unroll(unroll)
     with obs.phase("parse"):
         loop = parse_loop(source)
     with obs.phase("translate"):
         translation = translate(loop, scalars)
+    with obs.phase("unroll"):
+        dependence_bound = dependence_bound_rate(
+            translation.graph, include_io=include_io
+        )
+        if requested == "auto":
+            factor = _select_unroll(
+                translation.graph, dependence_bound, include_io=include_io
+            )
+        else:
+            factor = requested
+        graph = (
+            unroll_graph(translation.graph, factor)
+            if factor > 1
+            else translation.graph
+        )
     with obs.phase("build-sdsp-pn"):
-        pn = build_sdsp_pn(translation.graph, include_io=include_io)
+        pn = build_sdsp_pn(graph, include_io=include_io)
 
     with obs.phase("detect-frustum"):
         frustum, behavior = detect_frustum(
@@ -385,6 +523,13 @@ def compile_loop(
     # result; `CompiledLoop.optimal_rate` returns this cached Fraction.
     with obs.phase("rate"):
         rate = optimal_rate(pn)
+        achieved = _verify_unrolled_rate(
+            pn,
+            frustum,
+            factor,
+            rate,
+            dependence_bound if requested == "auto" else None,
+        )
     if verify:
         with obs.phase("verify"):
             verify_schedule(
@@ -404,6 +549,9 @@ def compile_loop(
         engine=engine,
         include_io=include_io,
         rate=rate,
+        unroll=factor,
+        achieved_rate=achieved,
+        dependence_bound=dependence_bound,
     )
 
     if pipeline_stages is not None:

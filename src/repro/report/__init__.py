@@ -2,7 +2,7 @@
 of the paper's figures, Graphviz DOT emitters and the self-contained
 HTML dashboard behind ``repro dash``."""
 
-from .tables import format_cell, render_table
+from .tables import format_cell, render_rate_closure, render_table
 from .render import (
     render_behavior_graph,
     render_dataflow_graph,
@@ -14,6 +14,7 @@ from .dot import dataflow_to_dot, petri_net_to_dot
 
 __all__ = [
     "format_cell",
+    "render_rate_closure",
     "render_table",
     "render_behavior_graph",
     "render_dataflow_graph",

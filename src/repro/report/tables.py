@@ -8,9 +8,9 @@ layer they share.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
-__all__ = ["format_cell", "render_table"]
+__all__ = ["format_cell", "render_table", "render_rate_closure"]
 
 
 def format_cell(value: Any) -> str:
@@ -67,3 +67,34 @@ def render_table(
     for row in text_rows:
         lines.append("  ".join(align(c, w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_rate_closure(
+    entries: Sequence[Mapping[str, Any]],
+    title: Optional[str] = "Achieved vs. optimal rate under unrolling",
+) -> str:
+    """The unrolling closure table: per loop, the rate the base
+    (``U = 1``) net achieves, the dependence bound ``γ*``, the chosen
+    unroll factor, and the per-base-instruction rate the unrolled
+    steady state achieves — ``closed`` marks rows where achieved equals
+    the bound exactly (the ``unroll="auto"`` guarantee).
+
+    Each entry is a mapping with ``loop``, ``base_rate``,
+    ``dependence_bound``, ``unroll`` and ``achieved_rate`` keys (the
+    vocabulary of :meth:`repro.pipeline.CompiledLoopSummary.payload`).
+    """
+    headers = [
+        "loop", "rate @ U=1", "bound γ*", "U", "achieved/iter", "closed",
+    ]
+    rows = [
+        [
+            entry["loop"],
+            entry["base_rate"],
+            entry["dependence_bound"],
+            entry["unroll"],
+            entry["achieved_rate"],
+            entry["achieved_rate"] == entry["dependence_bound"],
+        ]
+        for entry in entries
+    ]
+    return render_table(headers, rows, title=title)

@@ -126,6 +126,7 @@ _COMPILE_KEYS = {
     "pipeline_stages",
     "include_io",
     "engine",
+    "unroll",
 }
 
 
@@ -165,9 +166,13 @@ def parse_compile_request(body: bytes) -> SweepItem:
     """Validate a ``POST /v1/compile`` body into one :class:`SweepItem`.
 
     Required: ``source`` (inline loop text).  Optional: ``name``,
-    ``scalars``, ``pipeline_stages``, ``include_io``, ``engine`` — the
-    same vocabulary as a sweep-manifest item, because the compilation
-    they describe is the same pure function.
+    ``scalars``, ``pipeline_stages``, ``include_io``, ``engine``,
+    ``unroll`` — the same vocabulary as a sweep-manifest item, because
+    the compilation they describe is the same pure function.
+    ``unroll`` must be a positive integer up to the documented cap
+    (:data:`repro.loops.unroll.MAX_UNROLL`) or ``"auto"``; zero,
+    negative, non-integer and beyond-the-cap values all come back as
+    the stable ``400 bad-request`` envelope, never a 500.
     """
     data = _parse_json_object(body, "compile request")
     return _item_from_wire(data, "compile request")

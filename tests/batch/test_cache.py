@@ -53,6 +53,18 @@ class TestCacheKey:
     def test_no_scalars_equals_empty_scalars(self):
         assert cache_key("s", None) == cache_key("s", {})
 
+    def test_unroll_is_part_of_the_address(self):
+        base = cache_key("src", unroll=1)
+        assert base == cache_key("src")  # U=1 is the default address
+        assert base != cache_key("src", unroll=2)
+        assert cache_key("src", unroll=2) != cache_key("src", unroll=3)
+
+    def test_auto_and_its_resolution_are_distinct_addresses(self):
+        """The factor "auto" resolves to depends on the analysis, not
+        only on the hashed inputs — so "auto" gets its own slot."""
+        assert cache_key("src", unroll="auto") != cache_key("src", unroll=1)
+        assert cache_key("src", unroll="auto") != cache_key("src", unroll=2)
+
 
 class TestStoreLoad:
     def test_round_trip(self, cache):
@@ -127,6 +139,30 @@ class TestCorruption:
             path.write_text(json.dumps(entry))
 
         _, loaded = self.corrupt_and_load(cache, bump)
+        assert loaded is None
+
+    def test_pre_unroll_schema_entry_is_a_clean_miss(self, cache):
+        """A cache warmed before the unroll field existed (schema 1)
+        must miss cleanly — its payloads lack the v2 fields, so
+        trusting them would resurrect pre-unroll results under v2
+        keys."""
+        def downgrade(path):
+            entry = json.loads(path.read_text())
+            entry["cache_schema"] = CACHE_SCHEMA_VERSION - 1
+            path.write_text(json.dumps(entry))
+
+        key, loaded = self.corrupt_and_load(cache, downgrade)
+        assert loaded is None
+        # the stale entry was evicted; the next store re-warms the slot
+        assert key not in cache
+
+    def test_non_integer_schema_is_not_trusted(self, cache):
+        def mangle(path):
+            entry = json.loads(path.read_text())
+            entry["cache_schema"] = str(CACHE_SCHEMA_VERSION)
+            path.write_text(json.dumps(entry))
+
+        _, loaded = self.corrupt_and_load(cache, mangle)
         assert loaded is None
 
 

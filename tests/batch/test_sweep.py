@@ -369,6 +369,40 @@ class TestManifest:
                 )
             )
 
+    def test_unroll_loads_and_reaches_the_compiled_payload(self, tmp_path):
+        items = load_manifest(
+            self.write(
+                tmp_path,
+                [
+                    {"name": "a", "source": GOOD.source, "unroll": 2},
+                    {"name": "b", "source": GOOD.source, "unroll": "auto"},
+                ],
+            )
+        )
+        assert [item.unroll for item in items] == [2, "auto"]
+        result = compile_many(
+            [{"name": "m", "source": GOOD.source, "include_io": False,
+              "unroll": 2}]
+        )
+        assert result.items[0].ok
+        assert result.items[0].payload["unroll"] == 2
+
+    def test_bad_unroll_rejected_with_its_position(self, tmp_path):
+        with pytest.raises(ReproError, match="must be >= 1"):
+            load_manifest(
+                self.write(
+                    tmp_path,
+                    [{"name": "x", "source": "s", "unroll": 0}],
+                )
+            )
+        with pytest.raises(ReproError, match="exceeds the cap"):
+            load_manifest(
+                self.write(
+                    tmp_path,
+                    [{"name": "x", "source": "s", "unroll": 400}],
+                )
+            )
+
     def test_scaling_items_are_deterministic(self):
         assert scaling_items(sizes=(4, 8)) == scaling_items(sizes=(4, 8))
         names = [item.name for item in scaling_items(sizes=(4, 8))]

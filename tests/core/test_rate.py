@@ -1,5 +1,6 @@
 """Computation rates and the Theorem 5.2.2 resource bound."""
 
+import dataclasses
 from fractions import Fraction
 
 import pytest
@@ -8,11 +9,13 @@ from repro.core import (
     build_sdsp_pn,
     build_sdsp_scp_pn,
     critical_cycles,
+    dependence_bound_rate,
     frustum_rate,
     optimal_rate,
     pipeline_utilization,
     scp_rate_upper_bound,
 )
+from repro.errors import AnalysisError
 from repro.loops import KERNELS
 from repro.machine import FifoRunPlacePolicy
 from repro.petrinet import detect_frustum
@@ -81,3 +84,55 @@ class TestScpBounds:
         utilization = pipeline_utilization(scp, frustum)
         assert utilization < 1
         assert utilization > 0
+
+
+class TestAnalysisGuards:
+    """Analysis-path failures must be AnalysisError, never a raw
+    ZeroDivisionError or a silent rate of 0."""
+
+    def empty_frustum(self, pn):
+        frustum, _ = detect_frustum(pn.timed, pn.initial)
+        return dataclasses.replace(
+            frustum, repeat_time=frustum.start_time, firing_counts={}
+        )
+
+    def test_frustum_rate_on_empty_frustum_raises(self, l1_pn_abstract):
+        with pytest.raises(AnalysisError, match="frustum is empty"):
+            frustum_rate(self.empty_frustum(l1_pn_abstract), "A")
+
+    def test_frustum_rate_on_unknown_instruction_raises(
+        self, l1_pn_abstract
+    ):
+        frustum, _ = detect_frustum(
+            l1_pn_abstract.timed, l1_pn_abstract.initial
+        )
+        with pytest.raises(AnalysisError, match="does not fire"):
+            frustum_rate(frustum, "no-such-instruction")
+
+    def test_pipeline_utilization_on_empty_frustum_raises(
+        self, l1_pn_abstract
+    ):
+        scp = build_sdsp_scp_pn(l1_pn_abstract, stages=8)
+        with pytest.raises(AnalysisError, match="empty frustum"):
+            pipeline_utilization(scp, self.empty_frustum(l1_pn_abstract))
+
+
+class TestDependenceBound:
+    """γ* = 1 / cycle time of the ack-free dependence subnet: the rate
+    ceiling unrolling closes on."""
+
+    def test_doall_bound_is_one(self, l1_graph):
+        # L1 has no loop-carried dependence: only the implicit
+        # non-reentrance self-loops bind, γ* = 1 / max τ = 1
+        assert dependence_bound_rate(l1_graph, include_io=False) == 1
+
+    def test_recurrence_bound_matches_critical_data_cycle(self, l2_graph):
+        assert dependence_bound_rate(l2_graph, include_io=False) == (
+            Fraction(1, 3)
+        )
+
+    def test_bound_never_below_ack_limited_rate(self, l1_graph):
+        pn = build_sdsp_pn(l1_graph, include_io=False)
+        assert dependence_bound_rate(l1_graph, include_io=False) >= (
+            optimal_rate(pn)
+        )

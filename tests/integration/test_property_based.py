@@ -16,13 +16,16 @@ end to end:
 
 from fractions import Fraction
 
+import networkx as nx
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro import compile_loop
 from repro.core import (
     build_sdsp_pn,
+    dependence_cycle_time,
     derive_schedule,
     execute_schedule,
     optimal_rate,
@@ -30,7 +33,9 @@ from repro.core import (
     verify_allocation,
     verify_dependences,
 )
-from repro.loops import parse_loop, reference_execute, translate
+from repro.loops import parse_loop, reference_execute, translate, unroll_graph
+from repro.obs import stable_json
+from repro.pipeline import CompiledLoopSummary
 from repro.petrinet import (
     cycle_time_by_enumeration,
     cycle_time_lawler,
@@ -143,3 +148,63 @@ class TestRandomLoops:
         allocation = optimize_storage(pn)
         verify_allocation(pn, allocation)  # raises on any regression
         assert allocation.locations <= allocation.baseline_locations
+
+
+class TestUnrollProperties:
+    """Structural and rate invariants of the mod-U unrolling rule."""
+
+    @given(source=loop_sources())
+    @settings(**COMMON)
+    def test_factor_one_is_structurally_identical(self, source):
+        graph = translate(parse_loop(source)).graph
+        copied = unroll_graph(graph, 1)
+        assert copied.actor_names == graph.actor_names
+        assert copied.arcs == graph.arcs
+
+    @given(source=loop_sources(), factor=st.integers(2, 4))
+    @settings(**COMMON)
+    def test_dependence_cycle_time_scales_with_the_factor(
+        self, source, factor
+    ):
+        """One unrolled iteration is ``U`` base iterations: lifting a
+        data cycle of ratio ``Ω/M`` through the mod-U rewiring gives
+        ratio ``U * Ω/M`` exactly.  An acyclic (DOALL) body has no data
+        cycle at any factor — its dependence cycle time stays at the
+        non-reentrance floor ``max τ``."""
+        graph = translate(parse_loop(source)).graph
+        base = dependence_cycle_time(graph, include_io=False)
+        unrolled = dependence_cycle_time(
+            unroll_graph(graph, factor), include_io=False
+        )
+        if nx.is_directed_acyclic_graph(graph.nx_digraph()):
+            assert unrolled == base
+        else:
+            # unit durations: every data cycle's ratio is >= max τ, so
+            # the cyclic bound dominates at every factor
+            assert unrolled == factor * base
+
+    @given(source=loop_sources(), factor=st.integers(1, 3))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_unrolled_compile_achieves_a_uniform_base_rate(
+        self, source, factor
+    ):
+        """``compile_loop``'s hard verifier proves every base
+        instruction runs at exactly ``U`` times the unrolled net's
+        rate — it must hold for arbitrary bodies, not just the curated
+        examples."""
+        result = compile_loop(source, include_io=False, unroll=factor)
+        assert result.unroll == factor
+        assert result.achieved_rate == factor * result.optimal_rate
+
+    @given(source=loop_sources(), factor=st.integers(1, 3))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_unrolled_payload_round_trips_byte_identically(
+        self, source, factor
+    ):
+        payload = compile_loop(
+            source, include_io=False, unroll=factor
+        ).summary().payload()
+        rehydrated = CompiledLoopSummary.from_payload(payload)
+        assert stable_json(rehydrated.payload()) == stable_json(payload)

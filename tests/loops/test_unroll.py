@@ -1,0 +1,189 @@
+"""Loop unrolling: copy naming, the mod-U rewiring rule, validation."""
+
+import pytest
+
+from repro.dataflow import ArcKind, DataArc, DataflowGraph, binop
+from repro.errors import DataflowError, ReproError
+from repro.loops import (
+    MAX_UNROLL,
+    base_instruction,
+    copy_name,
+    parse_loop,
+    translate,
+    unroll_graph,
+    validate_unroll,
+)
+from repro.loops.unroll import base_firing_totals
+
+
+def chain_with_recurrence() -> DataflowGraph:
+    """a -> b -> c with the carried arc c -> a (distance 1)."""
+    graph = DataflowGraph("abc")
+    graph.add_actor(binop("a", "+"))
+    graph.add_actor(binop("b", "+", immediate=2, immediate_port=1))
+    graph.add_actor(binop("c", "+", immediate=1, immediate_port=1))
+    graph.add_arc(DataArc("a", "b", 0))
+    graph.add_arc(DataArc("b", "c", 0))
+    graph.add_arc(
+        DataArc("c", "a", 0, ArcKind.FEEDBACK, initial_tokens=1)
+    )
+    graph.add_arc(
+        DataArc("a", "a", 1, ArcKind.FEEDBACK, initial_tokens=1)
+    )
+    return graph
+
+
+class TestNames:
+    def test_copy_name_round_trips(self):
+        assert copy_name("mul3", 2) == "mul3@2"
+        assert base_instruction(copy_name("mul3", 2)) == "mul3"
+
+    def test_base_instruction_is_safe_on_unrolled_names(self):
+        assert base_instruction("mul3") == "mul3"
+
+    def test_base_firing_totals_sums_copies(self):
+        counts = {"a@0": 3, "a@1": 2, "b@0": 5}
+        totals = base_firing_totals(counts, ["a@0", "a@1", "b@0", "b@1"])
+        # b@1 is enumerated but never fired: it must count as 0, not
+        # vanish — the caller's equal-rate check then fails loudly
+        assert totals == {"a": 5, "b": 5}
+
+
+class TestValidateUnroll:
+    @pytest.mark.parametrize("value", [1, 2, 7, MAX_UNROLL])
+    def test_accepts_positive_integers(self, value):
+        assert validate_unroll(value) == value
+
+    def test_accepts_auto(self):
+        assert validate_unroll("auto") == "auto"
+
+    @pytest.mark.parametrize("value", [0, -3])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ReproError, match="must be >= 1"):
+            validate_unroll(value)
+
+    def test_rejects_beyond_the_cap(self):
+        with pytest.raises(ReproError, match="exceeds the cap of 64"):
+            validate_unroll(MAX_UNROLL + 1)
+
+    @pytest.mark.parametrize("value", [1.5, None, [2], True])
+    def test_rejects_non_integers(self, value):
+        with pytest.raises(ReproError, match="positive integer or 'auto'"):
+            validate_unroll(value)
+
+    def test_rejects_other_strings(self):
+        with pytest.raises(ReproError, match="positive integer or 'auto'"):
+            validate_unroll("two")
+
+    def test_where_prefixes_the_message(self):
+        with pytest.raises(ReproError, match="manifest item 3"):
+            validate_unroll(0, where="manifest item 3")
+
+
+class TestUnrollGraph:
+    def test_factor_one_is_a_plain_copy(self):
+        graph = chain_with_recurrence()
+        copied = unroll_graph(graph, 1)
+        assert copied is not graph
+        assert copied.actor_names == graph.actor_names
+        assert copied.arcs == graph.arcs
+
+    def test_actors_are_replicated_with_copy_names(self):
+        unrolled = unroll_graph(chain_with_recurrence(), 3)
+        assert unrolled.name == "abcx3"
+        assert sorted(unrolled.actor_names) == sorted(
+            copy_name(name, k) for name in "abc" for k in range(3)
+        )
+        # copies keep the base actor's kind/params
+        assert dict(unrolled.actor("b@1").params) == {
+            "op": "+", "immediate": 2, "immediate_port": 1,
+        }
+
+    def test_forward_arcs_stay_within_their_copy(self):
+        unrolled = unroll_graph(chain_with_recurrence(), 2)
+        forward = {
+            (arc.source, arc.target)
+            for arc in unrolled.arcs
+            if arc.initial_tokens == 0
+        }
+        assert forward == {
+            ("a@0", "b@0"), ("a@1", "b@1"),
+            ("b@0", "c@0"), ("b@1", "c@1"),
+            # the carried c -> a arc from copy 0 lands in copy 1 with
+            # no token: inside one unrolled iteration it is forward
+            ("c@0", "a@1"),
+            ("a@0", "a@1"),
+        }
+        assert all(
+            arc.kind is ArcKind.FORWARD
+            for arc in unrolled.arcs
+            if arc.initial_tokens == 0
+        )
+
+    def test_feedback_wraps_mod_u_with_one_token(self):
+        unrolled = unroll_graph(chain_with_recurrence(), 2)
+        feedback = {
+            (arc.source, arc.target): arc.initial_tokens
+            for arc in unrolled.arcs
+            if arc.initial_tokens >= 1
+        }
+        # distance 1 from the last copy wraps to copy 0 of the next
+        # unrolled iteration: (1 + 1) % 2 = 0 with (1 + 1) // 2 = 1
+        assert feedback == {("c@1", "a@0"): 1, ("a@1", "a@0"): 1}
+        assert all(
+            arc.kind is ArcKind.FEEDBACK
+            for arc in unrolled.arcs
+            if arc.initial_tokens >= 1
+        )
+
+    def test_distance_equal_to_factor_keeps_per_copy_self_structure(self):
+        graph = DataflowGraph("self2")
+        graph.add_actor(binop("a", "+", immediate=1, immediate_port=1))
+        graph.add_arc(
+            DataArc("a", "a", 0, ArcKind.FEEDBACK, initial_tokens=2)
+        )
+        unrolled = unroll_graph(graph, 2)
+        # d = U: every copy feeds itself one iteration later, 1 token
+        arcs = {
+            (arc.source, arc.target): arc.initial_tokens
+            for arc in unrolled.arcs
+        }
+        assert arcs == {("a@0", "a@0"): 1, ("a@1", "a@1"): 1}
+
+    def test_translated_loop_unrolls_to_valid_token_counts(self):
+        source = (
+            "do abc:\n"
+            "  A[i] = C[i-1] + IN[i]\n"
+            "  B[i] = A[i-1] * 2\n"
+            "  C[i] = B[i] + 1\n"
+        )
+        graph = translate(parse_loop(source)).graph
+        for factor in (2, 3, 4):
+            unrolled = unroll_graph(graph, factor)
+            assert len(unrolled) == factor * len(graph)
+            assert len(unrolled.arcs) == factor * len(graph.arcs)
+            # the frontend normalises distances to <= 1, so unrolled
+            # token counts stay SDSP-legal (0 or 1)
+            assert {arc.initial_tokens for arc in unrolled.arcs} <= {0, 1}
+            # token conservation: each base arc contributes exactly its
+            # distance in tokens, spread over its copies
+            base_tokens = sum(a.initial_tokens for a in graph.arcs)
+            assert (
+                sum(a.initial_tokens for a in unrolled.arcs) == base_tokens
+            )
+
+    def test_rejects_already_unrolled_names(self):
+        graph = DataflowGraph("g")
+        graph.add_actor(binop("a@0", "+", immediate=1, immediate_port=1))
+        with pytest.raises(DataflowError, match="already contains the copy"):
+            unroll_graph(graph, 2)
+
+    @pytest.mark.parametrize("factor", [0, -1])
+    def test_rejects_non_positive_factor(self, factor):
+        with pytest.raises(DataflowError, match="must be >= 1"):
+            unroll_graph(chain_with_recurrence(), factor)
+
+    @pytest.mark.parametrize("factor", ["auto", 2.0, True])
+    def test_rejects_unresolved_factor(self, factor):
+        with pytest.raises(DataflowError, match="concrete integer"):
+            unroll_graph(chain_with_recurrence(), factor)

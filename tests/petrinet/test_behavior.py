@@ -42,6 +42,14 @@ class TestFrustumDetection:
         frustum, _ = detect_frustum(TimedPetriNet.unit(net), initial)
         assert frustum.computation_rate("t1") == Fraction(1, 2)
 
+    def test_computation_rate_unknown_transition_raises(self, pair_net):
+        """A transition absent from the firing counts is a caller bug
+        (the wrong net), not a silent rate of 0."""
+        net, initial = pair_net
+        frustum, _ = detect_frustum(TimedPetriNet.unit(net), initial)
+        with pytest.raises(SimulationError, match="does not appear"):
+            frustum.computation_rate("t99")
+
     def test_deadlocked_net_raises(self):
         net = PetriNet()
         net.add_place("p")

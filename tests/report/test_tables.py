@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.report import format_cell, render_table
+from repro.report import format_cell, render_rate_closure, render_table
 
 
 class TestFormatCell:
@@ -58,3 +58,35 @@ class TestRenderTable:
     def test_fraction_cells(self):
         text = render_table(["rate"], [[Fraction(1, 2)]])
         assert "1/2" in text
+
+
+class TestRenderRateClosure:
+    def rows(self):
+        return [
+            {
+                "loop": "interleave",
+                "base_rate": Fraction(1, 3),
+                "dependence_bound": Fraction(2, 3),
+                "unroll": 2,
+                "achieved_rate": Fraction(2, 3),
+            },
+            {
+                "loop": "open",
+                "base_rate": Fraction(1, 2),
+                "dependence_bound": Fraction(1, 1),
+                "unroll": 1,
+                "achieved_rate": Fraction(1, 2),
+            },
+        ]
+
+    def test_closed_marks_exact_equality_only(self):
+        text = render_rate_closure(self.rows())
+        closed_line, open_line = text.splitlines()[-2:]
+        assert closed_line.startswith("interleave")
+        assert closed_line.rstrip().endswith("yes")
+        assert open_line.startswith("open")
+        assert open_line.rstrip().endswith("no")
+
+    def test_title_is_configurable(self):
+        text = render_rate_closure(self.rows(), title="γ closure")
+        assert text.splitlines()[0] == "γ closure"

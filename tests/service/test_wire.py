@@ -97,6 +97,68 @@ class TestCompileRequest:
         assert err.value.status == 400
 
 
+class TestUnrollOnTheWire:
+    """Every malformed unroll value is the stable 400 envelope — a bad
+    request must never surface as a 500."""
+
+    @pytest.mark.parametrize("value", [1, 2, 64, "auto"])
+    def test_valid_values_accepted(self, value):
+        item = parse_compile_request(body({"source": LOOP, "unroll": value}))
+        assert item.unroll == value
+
+    def test_default_is_no_unrolling(self):
+        assert parse_compile_request(body({"source": LOOP})).unroll == 1
+
+    def test_zero_is_400(self):
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"source": LOOP, "unroll": 0}))
+        assert err.value.status == 400
+        assert err.value.kind == "bad-request"
+        assert "must be >= 1" in err.value.message
+
+    def test_negative_is_400(self):
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"source": LOOP, "unroll": -3}))
+        assert err.value.status == 400
+        assert err.value.kind == "bad-request"
+
+    def test_non_integer_is_400(self):
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"source": LOOP, "unroll": 1.5}))
+        assert err.value.status == 400
+        assert err.value.kind == "bad-request"
+
+    def test_boolean_is_400(self):
+        # JSON `true` is not a meaningful factor even though Python
+        # bools are int subclasses
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"source": LOOP, "unroll": True}))
+        assert err.value.status == 400
+        assert err.value.kind == "bad-request"
+
+    def test_unknown_string_is_400(self):
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"source": LOOP, "unroll": "two"}))
+        assert err.value.status == 400
+        assert err.value.kind == "bad-request"
+        assert "'auto'" in err.value.message
+
+    def test_beyond_the_cap_is_400(self):
+        with pytest.raises(WireError) as err:
+            parse_compile_request(body({"source": LOOP, "unroll": 65}))
+        assert err.value.status == 400
+        assert err.value.kind == "bad-request"
+        assert "cap of 64" in err.value.message
+
+    def test_sweep_items_share_the_validation(self):
+        with pytest.raises(WireError) as err:
+            parse_sweep_request(
+                body({"items": [{"name": "a", "source": LOOP, "unroll": 0}]})
+            )
+        assert err.value.status == 400
+        assert "item 0" in err.value.message
+
+
 class TestSweepRequest:
     def test_items_in_order(self):
         items = parse_sweep_request(

@@ -53,6 +53,34 @@ class TestSchedule:
         status, _ = run(["schedule", scalar_file, "--scalar", "Q"])
         assert status == 1
 
+    def test_unroll_auto_reports_the_closed_rate(self, tmp_path):
+        path = tmp_path / "interleave.loop"
+        path.write_text(
+            "do interleave:\n"
+            "  A[i] = C[i-1] + IN[i]\n"
+            "  B[i] = A[i-1] * 2\n"
+            "  C[i] = B[i] + 1\n"
+        )
+        status, text = run(
+            ["schedule", str(path), "--abstract", "--unroll", "auto"]
+        )
+        assert status == 0
+        assert "unrolled x2" in text
+        assert "per-instruction rate 2/3" in text
+        assert "dependence bound 2/3" in text
+
+    def test_unroll_zero_is_a_clean_error(self, l2_file, capsys):
+        # 0 parses as an integer; the shared range validation rejects
+        # it downstream with the usual diagnostic exit, not a traceback
+        status, _ = run(["schedule", l2_file, "--abstract", "--unroll", "0"])
+        assert status == 1
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_unroll_garbage_is_a_clean_usage_error(self, l2_file):
+        with pytest.raises(SystemExit) as err:
+            run(["schedule", l2_file, "--abstract", "--unroll", "lots"])
+        assert err.value.code == 2
+
     def test_missing_file(self):
         status, _ = run(["schedule", "/nonexistent/loop.txt"])
         assert status == 2

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for rate-optimal unrolling (``make unroll-smoke``).
+
+Drives the real CLI (``repro compile --unroll auto``) over two loops
+whose optimal rate γ is a genuine fraction p/q with q > 1, and checks
+the closed-gap contract from the emitted payloads:
+
+1. ``examples/interleave.loop`` — ack-bound at 1/3 under ``U = 1``,
+   dependence bound γ* = 2/3; ``--unroll auto`` must pick ``U = 2``
+   and report an achieved per-base-iteration rate of *exactly* 2/3
+   (Fraction equality, not float tolerance);
+2. ``examples/frac5.loop`` — natively fractional γ = 2/5 reached by
+   the 2-periodic base schedule, so ``auto`` must keep ``U = 1`` and
+   still report achieved == γ* exactly;
+3. every payload is schema 2 and carries ``unroll``,
+   ``achieved_rate`` and ``dependence_bound``;
+4. an out-of-range factor (``--unroll 0``) must exit non-zero with a
+   diagnostic, not a traceback.
+
+Prints the closure table for the two loops on success.  Exits
+non-zero with a diagnostic on the first violated check.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+from fractions import Fraction
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.report import render_rate_closure  # noqa: E402
+
+#: loop file -> (expected U, expected achieved == γ* as a Fraction)
+EXPECTED = {
+    "examples/interleave.loop": (2, Fraction(2, 3)),
+    "examples/frac5.loop": (1, Fraction(2, 5)),
+}
+
+
+def fail(message: str) -> None:
+    print(f"unroll-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    """One ``repro`` invocation through the same entry point users hit."""
+    env_src = str(ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+def compile_payload(loop: str, *extra: str) -> dict:
+    proc = run_cli("compile", loop, *extra)
+    if proc.returncode != 0:
+        fail(f"`repro compile {loop} {' '.join(extra)}` exited "
+             f"{proc.returncode}:\n{proc.stderr}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as error:
+        fail(f"{loop}: stdout is not JSON ({error})")
+        raise AssertionError  # unreachable; keeps the type checker honest
+
+
+def main() -> None:
+    rows = []
+    for loop, (expected_u, bound) in EXPECTED.items():
+        base = compile_payload(loop)
+        payload = compile_payload(loop, "--unroll", "auto")
+
+        if payload.get("payload_schema") != 2:
+            fail(f"{loop}: expected payload_schema 2, got "
+                 f"{payload.get('payload_schema')!r}")
+        for key in ("unroll", "achieved_rate", "dependence_bound"):
+            if key not in payload:
+                fail(f"{loop}: payload is missing {key!r}")
+
+        achieved = Fraction(payload["achieved_rate"])
+        gamma = Fraction(payload["dependence_bound"])
+        if gamma.denominator <= 1:
+            fail(f"{loop}: γ* = {gamma} is not fractional — the smoke "
+                 "needs denominator > 1 to prove exactness")
+        if gamma != bound:
+            fail(f"{loop}: expected γ* = {bound}, got {gamma}")
+        if payload["unroll"] != expected_u:
+            fail(f"{loop}: auto picked U = {payload['unroll']}, "
+                 f"expected U = {expected_u}")
+        if achieved != gamma:
+            fail(f"{loop}: achieved {achieved} != optimal {gamma} — the "
+                 "rate gap is open")
+
+        rows.append({
+            "loop": pathlib.Path(loop).stem,
+            "base_rate": Fraction(base["achieved_rate"]),
+            "dependence_bound": gamma,
+            "unroll": payload["unroll"],
+            "achieved_rate": achieved,
+        })
+
+    # a rejected factor must be a clean diagnostic, never a traceback
+    proc = run_cli("compile", "examples/interleave.loop", "--unroll", "0")
+    if proc.returncode == 0:
+        fail("`--unroll 0` was accepted; it must be rejected")
+    if "Traceback" in proc.stderr:
+        fail(f"`--unroll 0` crashed with a traceback:\n{proc.stderr}")
+
+    print(render_rate_closure(
+        rows, title="unroll-smoke: achieved == optimal (Fraction-exact)"
+    ))
+    print("unroll-smoke: OK")
+
+
+if __name__ == "__main__":
+    main()
