@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke sweep-smoke trace-smoke explain-smoke serve-smoke unroll-smoke doctest linkcheck docstring-lint bench bench-check baseline dash clean
+.PHONY: verify test smoke sweep-smoke trace-smoke explain-smoke serve-smoke unroll-smoke stagecache-smoke doctest linkcheck docstring-lint bench bench-check baseline dash clean
 
-verify: test doctest linkcheck docstring-lint smoke sweep-smoke trace-smoke explain-smoke serve-smoke unroll-smoke
+verify: test doctest linkcheck docstring-lint smoke sweep-smoke trace-smoke explain-smoke serve-smoke unroll-smoke stagecache-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -56,6 +56,12 @@ serve-smoke:
 # with `--unroll auto` must report achieved == γ* Fraction-exact
 unroll-smoke:
 	$(PYTHON) tools/unroll_smoke.py
+
+# the staged compiler core end to end: upstream artifacts are reused
+# across requests, rebuilds from the stage store are byte-identical,
+# and failures name their stage
+stagecache-smoke:
+	$(PYTHON) tools/stagecache_smoke.py
 
 # causal blame end to end: the observed critical path must match a
 # structural critical cycle, the flow trace must be lint-clean, and the

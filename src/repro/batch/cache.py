@@ -45,6 +45,7 @@ from ..obs.schema import stable_json
 __all__ = [
     "CACHE_ENV_VAR",
     "CACHE_SCHEMA_VERSION",
+    "atomic_write_json",
     "cache_key",
     "default_cache_dir",
     "resolve_cache_dir",
@@ -125,6 +126,36 @@ def cache_key(
 
 def _payload_sha256(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(stable_json(payload).encode("utf-8")).hexdigest()
+
+
+def atomic_write_json(
+    target: pathlib.Path, entry: Mapping[str, Any], key_hint: str = "entry"
+) -> pathlib.Path:
+    """Atomically write ``entry`` as indented canonical JSON.
+
+    The write discipline every content-addressed store in the repo
+    shares (:class:`CompileCache`, the per-stage
+    :class:`~repro.compiler.store.ArtifactStore`): stage the bytes in a
+    temp file inside the target directory (same filesystem, so the
+    final ``os.replace`` is atomic), so a crashed or killed writer can
+    never leave a half-written entry behind, and two writers racing on
+    the same key both land a complete (identical) file.
+    """
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle, staging = tempfile.mkstemp(
+        prefix=f".{key_hint[:16]}.", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(stable_json(entry, indent=2) + "\n")
+        os.replace(staging, target)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
+    return target
 
 
 class CompileCache:
@@ -228,27 +259,13 @@ class CompileCache:
         worker dying mid-write leaves only a stray ``.tmp`` file, never
         a truncated entry another worker could read.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
         entry = {
             "cache_schema": CACHE_SCHEMA_VERSION,
             "key": key,
             "payload": dict(payload),
             "payload_sha256": _payload_sha256(payload),
         }
-        target = self.path_for(key)
-        handle, staging = tempfile.mkstemp(
-            prefix=f".{key[:16]}.", suffix=".tmp", dir=self.directory
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                stream.write(stable_json(entry, indent=2) + "\n")
-            os.replace(staging, target)
-        except BaseException:
-            try:
-                os.unlink(staging)
-            except OSError:
-                pass
-            raise
+        target = atomic_write_json(self.path_for(key), entry, key_hint=key)
         self._count("store")
         return target
 

@@ -68,6 +68,7 @@ __all__ = [
 ]
 
 _CACHE_OUTCOMES = ("hit", "miss", "corrupt", "store")
+_STAGE_OUTCOMES = ("hit", "miss", "corrupt", "store", "hydrate")
 
 
 @dataclass
@@ -77,7 +78,13 @@ class SweepItemResult:
     ``wall``, ``worker`` and ``phases`` are volatile measurement
     artifacts (like ``cache_stats``): the item's compile wall-clock,
     the lane that ran it, and — when span tracing was on — its
-    per-phase seconds.  None of them reach :meth:`record`.
+    per-phase seconds.  ``stage_stats`` / ``stage_outcomes`` describe
+    the per-stage artifact cache (counter totals, and each compiler
+    stage's resolution: ``computed`` / ``hit`` / ``hydrated``) when the
+    item went through the staged compiler.  None of them reach
+    :meth:`record` — except the failing *stage* name inside ``error``,
+    which is deterministic (a failure recurs at the same stage whether
+    its upstream artifacts were cached or not).
     """
 
     index: int
@@ -92,6 +99,8 @@ class SweepItemResult:
     wall: float = 0.0
     worker: Optional[str] = None
     phases: Optional[Dict[str, float]] = None
+    stage_stats: Optional[Dict[str, int]] = None
+    stage_outcomes: Optional[Dict[str, str]] = None
 
     @property
     def ok(self) -> bool:
@@ -170,6 +179,28 @@ class SweepResult:
         for item in self.items:
             for outcome, count in (item.cache_stats or {}).items():
                 totals[outcome] = totals.get(outcome, 0) + count
+        return totals
+
+    def stage_cache_stats(self) -> Dict[str, Any]:
+        """Aggregated per-stage artifact-cache counters over every item
+        (volatile, like :meth:`cache_stats`): totals per outcome plus a
+        ``by_stage`` breakdown of how each compiler stage resolved
+        (``computed`` / ``hit`` / ``hydrated``) across the items that
+        went through the staged compiler."""
+        totals: Dict[str, Any] = {
+            outcome: 0 for outcome in _STAGE_OUTCOMES
+        }
+        by_stage: Dict[str, Dict[str, int]] = {}
+        for item in self.items:
+            for outcome, count in (item.stage_stats or {}).items():
+                totals[outcome] = totals.get(outcome, 0) + count
+            for stage, outcome in (item.stage_outcomes or {}).items():
+                per = by_stage.setdefault(stage, {})
+                per[outcome] = per.get(outcome, 0) + 1
+        totals["by_stage"] = {
+            stage: dict(sorted(outcomes.items()))
+            for stage, outcomes in sorted(by_stage.items())
+        }
         return totals
 
     @property
@@ -343,6 +374,7 @@ def compile_item_task(
     error: Optional[Dict[str, str]] = None
     cache_hit = False
     phases: Optional[Dict[str, float]] = None
+    stage_outcomes: Optional[Dict[str, str]] = None
     started = perf_counter()
     with tracer.span(f"item:{item.name}", item=item.name, index=index):
         if cache is not None:
@@ -350,7 +382,16 @@ def compile_item_task(
                 payload = cache.load(key)
             cache_hit = payload is not None
         if payload is None:
-            from ..pipeline import compile_loop
+            # Imported lazily (like compile_loop below): repro.compiler
+            # pulls in this package for the shared atomic-write helper,
+            # so a module-level import here would be circular.
+            from ..compiler import (
+                ArtifactStore,
+                compile_staged,
+                failing_stage,
+                make_request,
+                stage_store_dir,
+            )
 
             if tracer.enabled:
                 phase_sink = _PhaseSpanSink(tracer)
@@ -363,19 +404,55 @@ def compile_item_task(
                 obs = None
             try:
                 with tracer.span("compile"):
-                    compiled = compile_loop(
-                        item.source,
-                        scalars=item.scalars,
-                        pipeline_stages=item.pipeline_stages,
-                        include_io=item.include_io,
-                        engine=item.engine,
-                        unroll=item.unroll,
-                        **({"instrumentation": obs} if obs is not None else {}),
-                    )
+                    if cache_dir is not None:
+                        # A whole-payload miss with the cache on: run
+                        # the staged compiler against the per-stage
+                        # artifact store beside the L1 entries, so any
+                        # upstream work a previous (even differently
+                        # parameterised) compile already did is reused.
+                        request = make_request(
+                            item.source,
+                            scalars=item.scalars,
+                            pipeline_stages=item.pipeline_stages,
+                            include_io=item.include_io,
+                            engine=item.engine,
+                            unroll=item.unroll,
+                        )
+                        store = ArtifactStore(
+                            stage_store_dir(cache_dir), registry=registry
+                        )
+                        payload, stage_outcomes = compile_staged(
+                            request,
+                            store,
+                            **(
+                                {"instrumentation": obs}
+                                if obs is not None
+                                else {}
+                            ),
+                        )
+                    else:
+                        from ..pipeline import compile_loop
+
+                        compiled = compile_loop(
+                            item.source,
+                            scalars=item.scalars,
+                            pipeline_stages=item.pipeline_stages,
+                            include_io=item.include_io,
+                            engine=item.engine,
+                            unroll=item.unroll,
+                            **(
+                                {"instrumentation": obs}
+                                if obs is not None
+                                else {}
+                            ),
+                        )
+                        payload = compiled.summary().payload()
             except Exception as exc:  # noqa: BLE001 — isolate *any* failure
                 error = {"type": type(exc).__name__, "message": str(exc)}
+                stage = failing_stage(exc)
+                if stage is not None:
+                    error["stage"] = stage
             else:
-                payload = compiled.summary().payload()
                 if cache is not None:
                     with tracer.span("cache.store"):
                         cache.store(key, payload)
@@ -385,6 +462,10 @@ def compile_item_task(
     stats = {
         outcome: registry.counter(f"batch.cache.{outcome}").value
         for outcome in _CACHE_OUTCOMES
+    }
+    stage_stats = {
+        outcome: registry.counter(f"stage.cache.{outcome}").value
+        for outcome in _STAGE_OUTCOMES
     }
     return {
         "index": index,
@@ -399,6 +480,8 @@ def compile_item_task(
         "wall": wall,
         "worker": tracer.worker if tracer.enabled else f"worker-{os.getpid()}",
         "phases": phases,
+        "stage_stats": stage_stats,
+        "stage_outcomes": stage_outcomes,
     }
 
 
@@ -425,6 +508,8 @@ def item_result_from_entry(entry: Mapping[str, Any]) -> SweepItemResult:
         wall=entry["wall"],
         worker=entry["worker"],
         phases=entry["phases"],
+        stage_stats=entry.get("stage_stats"),
+        stage_outcomes=entry.get("stage_outcomes"),
     )
 
 
@@ -572,6 +657,12 @@ def compile_many(
         if stats.get(outcome):
             target_registry.counter(f"batch.cache.{outcome}").inc(
                 stats[outcome]
+            )
+    stage_stats = result.stage_cache_stats()
+    for outcome in _STAGE_OUTCOMES:
+        if stage_stats.get(outcome):
+            target_registry.counter(f"stage.cache.{outcome}").inc(
+                stage_stats[outcome]
             )
     target_registry.counter("batch.sweep.items").inc(result.n_items)
     target_registry.counter("batch.sweep.errors").inc(result.n_errors)

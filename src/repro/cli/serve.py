@@ -1,0 +1,121 @@
+"""The ``serve`` command: run the async HTTP compilation service."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..errors import ReproError
+from ._args import resolve_cli_cache_dir
+
+
+def add_serve_parser(subparsers) -> None:
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async HTTP compilation service",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="address to bind (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="N",
+        help=(
+            "TCP port to listen on (0 lets the kernel pick; the "
+            "'listening on' banner names the real port)"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="compilation process-pool width",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="requests allowed to execute concurrently",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission-queue depth beyond the executing set; requests "
+            "past it get 429 + Retry-After (default: --max-inflight)"
+        ),
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "per-request deadline, queue wait included; expiry is a "
+            "504 and the pool work is cancelled"
+        ),
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "how long a SIGTERM/SIGINT drain waits for in-flight "
+            "requests before closing anyway"
+        ),
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "compile-cache directory (default: the REPRO_CACHE "
+            "environment toggle; unset/falsy means no cache)"
+        ),
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without a compile cache, ignoring REPRO_CACHE",
+    )
+    serve.add_argument(
+        "--span-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write span shards (service + one per pool worker) to DIR "
+            "for end-to-end request tracing"
+        ),
+    )
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    """Run the HTTP compilation service until a signal drains it."""
+    from ..service import ServiceConfig
+    from ..service.http import serve
+
+    cache_dir = resolve_cli_cache_dir(args)
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            request_timeout=args.request_timeout,
+            drain_grace=args.drain_grace,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            span_dir=args.span_dir,
+        )
+    except ValueError as error:
+        raise ReproError(str(error)) from error
+    return serve(config)

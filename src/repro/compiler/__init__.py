@@ -1,0 +1,94 @@
+"""The staged compiler core.
+
+The monolithic ``compile_loop`` flow, decomposed into declared, pure,
+schema-versioned passes:
+
+* :mod:`repro.compiler.stages` — the stage registry (parse through
+  summarize), each with typed input/output artifacts and the legacy
+  instrumentation phase it reports under;
+* :mod:`repro.compiler.manager` — the pull-based
+  :class:`~repro.compiler.manager.PassManager`, request-key
+  derivation, hydration and stage-tagged failure attribution;
+* :mod:`repro.compiler.store` — the per-stage content-addressed
+  :class:`~repro.compiler.store.ArtifactStore`;
+* :mod:`repro.compiler.artifacts` — canonical dumps and the
+  fingerprint scheme that lets different requests converge on shared
+  artifacts;
+* :mod:`repro.compiler.result` — the ``CompiledLoop`` /
+  ``CompiledLoopSummary`` result types (re-exported unchanged through
+  :mod:`repro.pipeline`).
+
+:func:`repro.pipeline.compile_loop` remains the public façade; this
+package is the implementation plus the staged entry points
+(:func:`~repro.compiler.manager.compile_staged`) that sweep and the
+service use for per-stage caching.
+"""
+
+from .artifacts import content_fingerprint, graph_dump, loop_dump, net_dump
+from .manager import (
+    Artifact,
+    PassManager,
+    compile_live,
+    compile_staged,
+    failing_stage,
+    make_request,
+    mark_stage,
+    request_key,
+)
+from .result import (
+    PAYLOAD_SCHEMA_VERSION,
+    CompiledLoop,
+    CompiledLoopSummary,
+    FrustumSummary,
+    fraction_from,
+    schedule_from_payload,
+    schedule_payload,
+)
+from .stages import (
+    CORE_STAGE_ORDER,
+    SCP_STAGE_ORDER,
+    STAGES,
+    CompileRequest,
+    Stage,
+    StageContext,
+    StageOutput,
+)
+from .store import (
+    STAGE_CACHE_OUTCOMES,
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    stage_store_dir,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "CompileRequest",
+    "CompiledLoop",
+    "CompiledLoopSummary",
+    "CORE_STAGE_ORDER",
+    "FrustumSummary",
+    "PAYLOAD_SCHEMA_VERSION",
+    "PassManager",
+    "SCP_STAGE_ORDER",
+    "STAGE_CACHE_OUTCOMES",
+    "STAGES",
+    "STORE_SCHEMA_VERSION",
+    "Stage",
+    "StageContext",
+    "StageOutput",
+    "compile_live",
+    "compile_staged",
+    "content_fingerprint",
+    "failing_stage",
+    "fraction_from",
+    "graph_dump",
+    "loop_dump",
+    "make_request",
+    "mark_stage",
+    "net_dump",
+    "request_key",
+    "schedule_from_payload",
+    "schedule_payload",
+    "stage_store_dir",
+]

@@ -1,0 +1,114 @@
+"""Canonical artifact dumps and content fingerprints.
+
+Every stage artifact carries a *fingerprint*: a sha256 over the
+canonical JSON (:func:`repro.obs.stable_json`) of the stage's output
+content tagged with the stage name and code version.  Downstream
+request keys are derived from upstream **fingerprints**, never from
+upstream request parameters — that is what lets two different requests
+converge on shared downstream artifacts:
+
+* ``unroll="auto"`` resolving to factor ``U`` and an explicit
+  ``unroll=U`` produce the same unrolled graph, hence the same
+  ``unroll`` fingerprint, hence identical request keys for every stage
+  after it (PN build, simulation, scheduling, verification all hit);
+* the ``step`` and ``event`` engines produce bit-identical frusta, so
+  a ``simulate`` artifact computed under one engine fingerprints the
+  same as the other and the extraction/verification stages converge.
+
+The dump helpers here turn the library's live objects (loop IR,
+dataflow graphs, SDSP-PNs) into deterministic JSON-ready structures
+for exactly that hashing purpose.  They are projections, not codecs:
+live objects are rebuilt by re-running the (cheap, deterministic)
+upstream stages, never parsed back out of a dump, so the float
+normalisation ``stable_json`` applies can never corrupt a live value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+from ..obs.schema import stable_json
+
+__all__ = [
+    "content_fingerprint",
+    "graph_dump",
+    "loop_dump",
+    "net_dump",
+]
+
+
+def content_fingerprint(stage: str, version: int, content: Any) -> str:
+    """The content address of one stage output: sha256 over the
+    canonical JSON of ``content`` tagged with the producing stage and
+    its code version (so bumping a stage's ``version`` invalidates its
+    artifacts *and* everything derived from them)."""
+    canonical = stable_json(
+        {"stage": stage, "version": version, "content": content}
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def loop_dump(loop) -> Dict[str, Any]:
+    """Canonical projection of a parsed :class:`~repro.loops.ir.Loop`.
+
+    Statement ``str`` forms capture the full semantics (targets,
+    operators, offsets) in source order, which is what downstream
+    stages depend on.
+    """
+    return {
+        "name": loop.name,
+        "parallel": bool(loop.parallel),
+        "statements": [str(statement) for statement in loop.statements],
+    }
+
+
+def graph_dump(graph) -> Dict[str, Any]:
+    """Canonical projection of a
+    :class:`~repro.dataflow.graph.DataflowGraph`: actors sorted by
+    name, arcs sorted by endpoint/port tuple, enum kinds as their
+    stable string values."""
+    return {
+        "name": graph.name,
+        "actors": [
+            {
+                "name": actor.name,
+                "kind": actor.kind.value,
+                "arity": actor.arity,
+                "params": [[key, value] for key, value in actor.params],
+            }
+            for actor in sorted(graph.actors, key=lambda a: a.name)
+        ],
+        "arcs": [
+            {
+                "source": arc.source,
+                "source_port": arc.source_port,
+                "target": arc.target,
+                "target_port": arc.target_port,
+                "kind": arc.kind.value,
+                "initial_tokens": arc.initial_tokens,
+            }
+            for arc in sorted(
+                graph.arcs,
+                key=lambda a: (
+                    a.source, a.source_port, a.target, a.target_port
+                ),
+            )
+        ],
+    }
+
+
+def net_dump(pn) -> Dict[str, Any]:
+    """Canonical projection of an
+    :class:`~repro.core.sdsp_pn.SdspPetriNet`: structure, durations and
+    initial marking — everything the simulation and rate analyses
+    depend on."""
+    return {
+        "places": list(pn.net.place_names),
+        "transitions": list(pn.net.transition_names),
+        "arcs": sorted(pn.net.arcs),
+        "durations": dict(pn.durations),
+        "initial": dict(pn.initial),
+        "data_place_of": dict(pn.data_place_of),
+        "ack_place_of": dict(pn.ack_place_of),
+    }

@@ -1,0 +1,381 @@
+"""The pass manager: pull-based execution of the declared stages.
+
+:class:`PassManager` resolves stages on demand.  Asking for a stage's
+artifact first resolves its dependencies (recursively), derives the
+stage's *request key* —
+
+    sha256(stable_json({store schema, stage name, stage code version,
+                        upstream fingerprints, stage params}))
+
+— and then either loads the artifact from the
+:class:`~repro.compiler.store.ArtifactStore` (a **hit**: only the JSON
+projection comes back, no live objects) or runs the stage's compute
+under its legacy instrumentation phase and stores the result.
+
+Because the key hashes upstream **fingerprints** rather than upstream
+request parameters, two requests that differ only in a downstream
+parameter (the unroll factor, the simulation engine, the SCP depth)
+share every upstream artifact, and requests whose different parameters
+happen to produce identical intermediate content (``unroll="auto"``
+resolving to the explicit factor; the ``step`` and ``event`` engines'
+bit-identical frusta) converge back onto shared downstream artifacts.
+
+**Hydration.**  A consumer needing a *live* object from a stage that
+hit the store triggers hydration: the stage's ``hydrate`` rebuilds the
+objects from the stored projection when one is declared (e.g. the
+kernel-extraction stages rebuild their
+:class:`~repro.core.schedule.PipelinedSchedule` from the payload), and
+otherwise the stage's compute re-runs over (recursively hydrated)
+upstreams.  The stored data and fingerprint are kept — the stages are
+deterministic, so a recompute reproduces them — and hydrations are
+counted under ``stage.cache.hydrate``, never as hits or misses.
+
+**Failure attribution.**  Any exception escaping a stage compute is
+tagged with the stage name (:func:`mark_stage` — first tag wins, the
+original exception type is preserved), so sweep records, the service
+and ``repro explain`` can name the failing stage without parsing
+messages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..errors import AnalysisError
+from ..loops.unroll import validate_unroll
+from ..obs.events import Instrumentation, NULL_INSTRUMENTATION
+from ..obs.schema import stable_json
+from .artifacts import content_fingerprint
+from .result import CompiledLoop, fraction_from
+from .stages import (
+    CORE_STAGE_ORDER,
+    SCP_STAGE_ORDER,
+    STAGES,
+    CompileRequest,
+    Stage,
+    StageContext,
+)
+from .store import STORE_SCHEMA_VERSION, ArtifactStore
+
+__all__ = [
+    "Artifact",
+    "PassManager",
+    "compile_live",
+    "compile_staged",
+    "failing_stage",
+    "make_request",
+    "mark_stage",
+    "request_key",
+]
+
+#: Attribute carrying a stage name on an exception raised inside it.
+STAGE_ATTR = "repro_stage"
+
+
+def mark_stage(exc: BaseException, stage: str) -> BaseException:
+    """Tag ``exc`` with the stage it escaped from (first tag wins, so
+    an error crossing several stage frames keeps its origin)."""
+    if getattr(exc, STAGE_ATTR, None) is None:
+        try:
+            setattr(exc, STAGE_ATTR, stage)
+        except AttributeError:  # pragma: no cover - slotted exceptions
+            pass
+    return exc
+
+
+def failing_stage(exc: BaseException) -> Optional[str]:
+    """The stage ``exc`` was tagged with, or None."""
+    stage = getattr(exc, STAGE_ATTR, None)
+    return stage if isinstance(stage, str) else None
+
+
+def make_request(
+    source: str,
+    scalars: Optional[Mapping[str, float]] = None,
+    pipeline_stages: Optional[int] = None,
+    include_io: bool = True,
+    verify: bool = True,
+    verify_iterations: int = 12,
+    engine: str = "event",
+    unroll: Union[int, str] = 1,
+) -> CompileRequest:
+    """Validate raw compile inputs into a :class:`CompileRequest`
+    (bad ``unroll`` values raise :class:`~repro.errors.ReproError`
+    tagged with stage ``"validate"``, before any stage runs)."""
+    try:
+        requested = validate_unroll(unroll)
+    except Exception as exc:
+        raise mark_stage(exc, "validate")
+    return CompileRequest(
+        source=source,
+        scalars=dict(scalars) if scalars is not None else None,
+        pipeline_stages=pipeline_stages,
+        include_io=bool(include_io),
+        verify=bool(verify),
+        verify_iterations=int(verify_iterations),
+        engine=engine,
+        unroll=requested,
+    )
+
+
+def request_key(
+    stage: Stage,
+    request: CompileRequest,
+    dep_fingerprints: Mapping[str, str],
+) -> str:
+    """The store address of one stage's output for one request: a
+    sha256 over the store schema, the stage's name and code version,
+    its upstream fingerprints, and the request parameters it declares.
+    """
+    canonical = stable_json(
+        {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "stage": stage.name,
+            "version": stage.version,
+            "deps": dict(dep_fingerprints),
+            "params": stage.params(request),
+        }
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Artifact:
+    """One resolved stage output.
+
+    ``live`` is None when the artifact came from the store and has not
+    been hydrated; ``outcome`` is ``"computed"``, ``"hit"`` or
+    ``"hydrated"`` (a hit whose live objects were rebuilt on demand).
+    """
+
+    stage: str
+    key: str
+    fingerprint: str
+    data: Dict[str, Any]
+    live: Optional[Dict[str, Any]]
+    outcome: str
+
+
+class PassManager:
+    """Pull-based stage resolution for one :class:`CompileRequest`.
+
+    With no store, every requested stage computes exactly once (the
+    legacy monolithic behavior, phase timings included).  With a
+    store, stages resolve to cached artifacts wherever the request key
+    matches, and only the genuinely affected suffix of the pipeline
+    recomputes.
+    """
+
+    def __init__(
+        self,
+        request: CompileRequest,
+        store: Optional[ArtifactStore] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.request = request
+        self.store = store
+        self.obs = (
+            instrumentation
+            if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        self._artifacts: Dict[str, Artifact] = {}
+        self._ctx = StageContext(self, request)
+
+    # ------------------------------------------------------------------
+    # Artifact resolution
+    # ------------------------------------------------------------------
+    def artifact(self, name: str) -> Artifact:
+        """Resolve ``name`` (memoised per manager): dependencies first,
+        then store lookup, then compute-and-store."""
+        found = self._artifacts.get(name)
+        if found is not None:
+            return found
+        stage = STAGES[name]
+        deps = {dep: self.artifact(dep).fingerprint for dep in stage.deps}
+        key = request_key(stage, self.request, deps)
+        if stage.cacheable and self.store is not None:
+            entry = self.store.load(name, key)
+            if entry is not None:
+                found = Artifact(
+                    stage=name,
+                    key=key,
+                    fingerprint=entry["fingerprint"],
+                    data=entry["data"],
+                    live=None,
+                    outcome="hit",
+                )
+                self._artifacts[name] = found
+                return found
+        found = self._compute(stage, key)
+        self._artifacts[name] = found
+        if stage.cacheable and self.store is not None:
+            self.store.store(name, key, found.fingerprint, found.data)
+        return found
+
+    def _compute(self, stage: Stage, key: str) -> Artifact:
+        scope = (
+            self.obs.phase(stage.phase)
+            if stage.phase is not None
+            else nullcontext()
+        )
+        try:
+            with scope:
+                output = stage.compute(self._ctx)
+        except Exception as exc:
+            raise mark_stage(exc, stage.name)
+        content = (
+            output.content if output.content is not None else output.data
+        )
+        return Artifact(
+            stage=stage.name,
+            key=key,
+            fingerprint=content_fingerprint(
+                stage.name, stage.version, content
+            ),
+            data=output.data,
+            live=output.live,
+            outcome="computed",
+        )
+
+    def _hydrate(self, artifact: Artifact) -> None:
+        """Rebuild a store-loaded artifact's live objects: via the
+        stage's declared ``hydrate`` when it has one, else by re-running
+        its compute over (recursively hydrated) upstreams.  The stored
+        data and fingerprint stand — the stages are deterministic."""
+        stage = STAGES[artifact.stage]
+        scope = (
+            self.obs.phase(stage.phase)
+            if stage.phase is not None
+            else nullcontext()
+        )
+        try:
+            with scope:
+                if stage.hydrate is not None:
+                    artifact.live = stage.hydrate(self._ctx, artifact.data)
+                else:
+                    artifact.live = stage.compute(self._ctx).live
+        except Exception as exc:
+            raise mark_stage(exc, stage.name)
+        artifact.outcome = "hydrated"
+        if self.store is not None:
+            registry = self.store.registry
+            registry.counter("stage.cache.hydrate").inc()
+            registry.counter(f"stage.cache.hydrate.{stage.name}").inc()
+
+    # ------------------------------------------------------------------
+    # StageContext backend
+    # ------------------------------------------------------------------
+    def data(self, name: str) -> Mapping[str, Any]:
+        return self.artifact(name).data
+
+    def fingerprint(self, name: str) -> str:
+        return self.artifact(name).fingerprint
+
+    def live(self, name: str, field: str) -> Any:
+        artifact = self.artifact(name)
+        if artifact.live is None:
+            self._hydrate(artifact)
+        return artifact.live[field]
+
+    @property
+    def outcomes(self) -> Dict[str, str]:
+        """Per-stage resolution outcomes so far (``computed`` / ``hit``
+        / ``hydrated``), in resolution order."""
+        return {
+            name: artifact.outcome
+            for name, artifact in self._artifacts.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Driving a whole compilation
+    # ------------------------------------------------------------------
+    def run(self, summary: bool = False) -> None:
+        """Resolve the full stage sequence of one compilation in the
+        legacy phase order, including the conditional suffixes
+        (``verify``, the SCP stages, ``summarize``)."""
+        request = self.request
+        for name in CORE_STAGE_ORDER:
+            self.artifact(name)
+        if request.unroll == "auto":
+            # The auto acceptance check of the legacy "rate" phase:
+            # the selected factor must close the gap to γ* exactly.
+            # It compares projections only, so hits never hydrate.
+            achieved = fraction_from(self.data("rate")["achieved_rate"])
+            bound = fraction_from(
+                self.data("rate_analysis")["dependence_bound"]
+            )
+            if achieved != bound:
+                factor = int(self.data("unroll")["factor"])
+                raise mark_stage(
+                    AnalysisError(
+                        f"unroll='auto' selected factor {factor} but "
+                        f"the achieved per-instruction rate {achieved} "
+                        f"does not equal the dependence bound {bound}"
+                    ),
+                    "rate",
+                )
+        if request.verify:
+            self.artifact("verify")
+        if request.pipeline_stages is not None:
+            for name in SCP_STAGE_ORDER:
+                self.artifact(name)
+            if request.verify:
+                self.artifact("scp_verify")
+        if summary:
+            self.artifact("summarize")
+
+
+def compile_live(
+    request: CompileRequest,
+    instrumentation: Optional[Instrumentation] = None,
+) -> CompiledLoop:
+    """Run the full stage sequence storeless (every stage computes,
+    all live artifacts present) and assemble the classic
+    :class:`~repro.compiler.result.CompiledLoop` — the engine behind
+    :func:`repro.pipeline.compile_loop`."""
+    manager = PassManager(request, instrumentation=instrumentation)
+    manager.run()
+    result = CompiledLoop(
+        translation=manager.live("translate", "translation"),
+        pn=manager.live("build_pn", "pn"),
+        frustum=manager.live("simulate", "frustum"),
+        behavior=manager.live("simulate", "behavior"),
+        schedule=manager.live("extract_kernel", "schedule"),
+        bounds=manager.live("rate", "bounds"),
+        engine=request.engine,
+        include_io=request.include_io,
+        rate=manager.live("rate", "rate"),
+        unroll=manager.live("unroll", "factor"),
+        achieved_rate=manager.live("rate", "achieved"),
+        dependence_bound=manager.live("rate_analysis", "dependence_bound"),
+    )
+    if request.pipeline_stages is not None:
+        result.scp = manager.live("scp_build", "scp")
+        result.scp_frustum = manager.live("scp_simulate", "frustum")
+        result.scp_behavior = manager.live("scp_simulate", "behavior")
+        result.scp_schedule = manager.live("scp_extract", "schedule")
+    return result
+
+
+def compile_staged(
+    request: CompileRequest,
+    store: ArtifactStore,
+    instrumentation: Optional[Instrumentation] = None,
+) -> Tuple[Dict[str, Any], Dict[str, str]]:
+    """Run one compilation against the per-stage artifact store and
+    return ``(payload, outcomes)``: the deterministic
+    ``CompiledLoopSummary.payload()`` dict plus the per-stage
+    resolution outcomes (``computed`` / ``hit`` / ``hydrated``).
+
+    The payload is assembled from stage projections alone, so a fully
+    warm request hydrates nothing — it costs a handful of JSON reads.
+    """
+    manager = PassManager(
+        request, store=store, instrumentation=instrumentation
+    )
+    manager.run(summary=True)
+    return manager.data("summarize")["payload"], manager.outcomes

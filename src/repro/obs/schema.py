@@ -69,7 +69,11 @@ FLOAT_DECIMALS = 9
 #: records come from the service latency bench
 #: (``benchmarks/bench_serve.py``): the payload pins the served bytes
 #: (sha256), the volatile latency percentiles live under ``timing``.
-RECORD_KINDS = ("bench", "cli", "sweep", "serve")
+#: ``"stagecache"`` records come from the per-stage artifact-cache
+#: bench (``benchmarks/bench_stagecache.py``): the payload pins the
+#: stage resolution outcomes of a cold vs warm recompile, the volatile
+#: wall clocks live under ``timing``.
+RECORD_KINDS = ("bench", "cli", "sweep", "serve", "stagecache")
 
 #: Top-level sections the regression gate treats as volatile: allowed
 #: to drift between runs (within tolerance for ``timing``; freely for

@@ -1,6 +1,8 @@
 """End-to-end convenience pipeline: loop text in, verified schedule out.
 
-This wraps the full flow of the paper:
+This is the public façade over the staged compiler core
+(:mod:`repro.compiler`), which decomposes the flow of the paper into
+declared, pure passes:
 
 1. parse the loop (``repro.loops.parser``);
 2. dependence analysis + lowering to a static dataflow graph
@@ -13,39 +15,27 @@ This wraps the full flow of the paper:
    — verification of dependences, resources and optimality
    (``repro.core.verify``).
 
-Each stage's artifact is exposed on the result object so callers can
-drop down to any layer.
+:func:`compile_loop` keeps its historical signature and semantics
+(every stage computes, all live artifacts present on the result);
+batch and service callers that want per-stage artifact caching use
+:func:`repro.compiler.compile_staged` directly.  The result types
+live in :mod:`repro.compiler.result` and are re-exported here
+unchanged, so ``from repro.pipeline import CompiledLoopSummary``
+keeps working and every payload stays byte-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from fractions import Fraction
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Mapping, Optional, Union
 
-from .core.bounds import theoretical_bounds, TheoreticalBounds
-from .core.rate import (
-    dependence_bound_rate,
-    optimal_rate,
-    pipeline_utilization,
-    scp_rate_upper_bound,
+from .compiler.manager import compile_live, make_request
+from .compiler.result import (
+    PAYLOAD_SCHEMA_VERSION,
+    CompiledLoop,
+    CompiledLoopSummary,
+    FrustumSummary,
 )
-from .core.schedule import PipelinedSchedule, ScheduledOp, derive_schedule
-from .core.scp import SdspScpNet, build_sdsp_scp_pn
-from .core.sdsp_pn import SdspPetriNet, build_sdsp_pn
-from .core.verify import verify_schedule
-from .errors import AnalysisError, ReproError
-from .loops.parser import parse_loop
-from .loops.translate import TranslationResult, translate
-from .loops.unroll import (
-    MAX_UNROLL,
-    base_firing_totals,
-    unroll_graph,
-    validate_unroll,
-)
-from .machine.policies import FifoRunPlacePolicy
-from .obs.events import Instrumentation, NULL_INSTRUMENTATION
-from .petrinet.behavior import BehaviorGraph, CyclicFrustum, detect_frustum
+from .obs.events import Instrumentation
 
 __all__ = [
     "PAYLOAD_SCHEMA_VERSION",
@@ -54,384 +44,6 @@ __all__ = [
     "FrustumSummary",
     "compile_loop",
 ]
-
-#: Version of the :meth:`CompiledLoopSummary.payload` layout.  Version
-#: 2 added ``unroll`` / ``achieved_rate`` / ``dependence_bound`` (and
-#: this field itself); version-1 payloads — which carry none of them —
-#: still load with ``unroll = 1`` defaults, while payloads *newer* than
-#: the reader are rejected outright (a reader must never silently
-#: reinterpret fields it does not know about).
-PAYLOAD_SCHEMA_VERSION = 2
-
-
-def _fraction_from(value: Any) -> Fraction:
-    """Parse a payload rational: an int, an ``int``-valued string, or
-    the exact ``"p/q"`` form the ledger schema emits."""
-    return Fraction(str(value))
-
-
-@dataclass(frozen=True)
-class FrustumSummary:
-    """The deterministic facts of a detected cyclic frustum.
-
-    This is the serialisable projection of
-    :class:`~repro.petrinet.behavior.CyclicFrustum` — everything the
-    Tables 1/2 measurement columns need, without the instantaneous
-    state or the behavior graph, so it survives a JSON round trip
-    byte-identically (the compile cache stores exactly this).
-    """
-
-    start_time: int
-    repeat_time: int
-    firing_counts: Dict[str, int]
-    schedule_steps: Tuple[Tuple[int, Tuple[str, ...]], ...]
-
-    @property
-    def length(self) -> int:
-        return self.repeat_time - self.start_time
-
-    @classmethod
-    def from_frustum(cls, frustum: CyclicFrustum) -> "FrustumSummary":
-        return cls(
-            start_time=frustum.start_time,
-            repeat_time=frustum.repeat_time,
-            firing_counts=dict(frustum.firing_counts),
-            schedule_steps=tuple(
-                (time, tuple(fired)) for time, fired in frustum.schedule_steps
-            ),
-        )
-
-    def payload(self) -> Dict[str, Any]:
-        return {
-            "start_time": self.start_time,
-            "repeat_time": self.repeat_time,
-            "length": self.length,
-            "firing_counts": dict(self.firing_counts),
-            "schedule_steps": [
-                [time, list(fired)] for time, fired in self.schedule_steps
-            ],
-        }
-
-    @classmethod
-    def from_payload(cls, data: Mapping[str, Any]) -> "FrustumSummary":
-        return cls(
-            start_time=int(data["start_time"]),
-            repeat_time=int(data["repeat_time"]),
-            firing_counts={
-                str(name): int(count)
-                for name, count in data["firing_counts"].items()
-            },
-            schedule_steps=tuple(
-                (int(time), tuple(str(name) for name in fired))
-                for time, fired in data["schedule_steps"]
-            ),
-        )
-
-
-def _schedule_payload(schedule: PipelinedSchedule) -> Dict[str, Any]:
-    return {
-        "start_time": schedule.start_time,
-        "initiation_interval": schedule.initiation_interval,
-        "iterations_per_kernel": schedule.iterations_per_kernel,
-        "instructions": list(schedule.instructions),
-        "prologue": [
-            [op.time, op.instruction, op.iteration]
-            for op in schedule.prologue
-        ],
-        "kernel": [
-            [rel, name, base] for rel, name, base in schedule.kernel
-        ],
-    }
-
-
-def _schedule_from_payload(data: Mapping[str, Any]) -> PipelinedSchedule:
-    return PipelinedSchedule(
-        prologue=[
-            ScheduledOp(int(time), str(name), int(iteration))
-            for time, name, iteration in data["prologue"]
-        ],
-        kernel=[
-            (int(rel), str(name), int(base))
-            for rel, name, base in data["kernel"]
-        ],
-        start_time=int(data["start_time"]),
-        initiation_interval=int(data["initiation_interval"]),
-        iterations_per_kernel=int(data["iterations_per_kernel"]),
-        instructions=tuple(str(name) for name in data["instructions"]),
-    )
-
-
-@dataclass
-class CompiledLoopSummary:
-    """The deterministic payload of one compilation.
-
-    Everything here is a pure function of ``(source, scalars,
-    pipeline_stages, include_io, engine)`` — no nets, no behavior
-    graphs, no wall clock — which makes it the value type of the
-    content-addressed compile cache (:mod:`repro.batch.cache`) and the
-    per-item record of ``repro sweep``.  ``payload()`` and
-    ``from_payload()`` round-trip byte-identically under
-    :func:`repro.obs.stable_json`.
-    """
-
-    loop: str
-    engine: str
-    include_io: bool
-    pipeline_stages: Optional[int]
-    rate: Fraction
-    bounds: TheoreticalBounds
-    net_size: int
-    n_transitions: int
-    frustum: FrustumSummary
-    schedule: PipelinedSchedule
-    scp_utilization: Optional[Fraction] = None
-    scp_frustum: Optional[FrustumSummary] = None
-    scp_schedule: Optional[PipelinedSchedule] = None
-    unroll: int = 1
-    achieved_rate: Optional[Fraction] = None
-    dependence_bound: Optional[Fraction] = None
-
-    @property
-    def optimal_rate(self) -> Fraction:
-        """Alias matching :attr:`CompiledLoop.optimal_rate`."""
-        return self.rate
-
-    @property
-    def cycle_time(self) -> Fraction:
-        return Fraction(1, 1) / self.rate
-
-    def payload(self) -> Dict[str, Any]:
-        """The stable JSON-ready dict (ledger-schema normalised)."""
-        from .obs.schema import normalize_payload
-
-        raw: Dict[str, Any] = {
-            "payload_schema": PAYLOAD_SCHEMA_VERSION,
-            "loop": self.loop,
-            "engine": self.engine,
-            "include_io": self.include_io,
-            "pipeline_stages": self.pipeline_stages,
-            "unroll": self.unroll,
-            "achieved_rate": self.achieved_rate,
-            "dependence_bound": self.dependence_bound,
-            "rate": self.rate,
-            "cycle_time": self.cycle_time,
-            "initiation_interval": self.schedule.initiation_interval,
-            "iterations_per_kernel": self.schedule.iterations_per_kernel,
-            "net_size": self.net_size,
-            "n_transitions": self.n_transitions,
-            "bounds": {
-                "n": self.bounds.n,
-                "critical_cycle_count": self.bounds.critical_cycle_count,
-                "iteration_bound": self.bounds.iteration_bound,
-                "step_bound": self.bounds.step_bound,
-                "covers_all_transitions": self.bounds.covers_all_transitions,
-            },
-            "frustum": self.frustum.payload(),
-            "schedule": _schedule_payload(self.schedule),
-        }
-        if self.pipeline_stages is not None:
-            raw["scp"] = {
-                "utilization": self.scp_utilization,
-                "frustum": (
-                    self.scp_frustum.payload()
-                    if self.scp_frustum is not None
-                    else None
-                ),
-                "schedule": (
-                    _schedule_payload(self.scp_schedule)
-                    if self.scp_schedule is not None
-                    else None
-                ),
-            }
-        return normalize_payload(raw)
-
-    @classmethod
-    def from_payload(cls, data: Mapping[str, Any]) -> "CompiledLoopSummary":
-        """Rehydrate a summary from a :meth:`payload` dict (e.g. a
-        compile-cache entry) without re-simulating anything.
-
-        Payloads from schema version 1 (pre-unrolling builds carry no
-        ``payload_schema`` field at all) load with ``unroll = 1``
-        defaults; payloads newer than this reader are refused — their
-        unknown fields could change the meaning of the known ones.
-        """
-        schema = int(data.get("payload_schema", 1))
-        if schema > PAYLOAD_SCHEMA_VERSION:
-            raise ReproError(
-                f"compiled-loop payload has schema version {schema}, "
-                f"newer than this reader ({PAYLOAD_SCHEMA_VERSION}); "
-                "upgrade before loading it"
-            )
-        bounds = data["bounds"]
-        scp = data.get("scp")
-        stages = data.get("pipeline_stages")
-        achieved = data.get("achieved_rate")
-        dependence = data.get("dependence_bound")
-        return cls(
-            unroll=int(data.get("unroll", 1)),
-            achieved_rate=(
-                _fraction_from(achieved) if achieved is not None else None
-            ),
-            dependence_bound=(
-                _fraction_from(dependence) if dependence is not None else None
-            ),
-            loop=str(data["loop"]),
-            engine=str(data["engine"]),
-            include_io=bool(data["include_io"]),
-            pipeline_stages=int(stages) if stages is not None else None,
-            rate=_fraction_from(data["rate"]),
-            bounds=TheoreticalBounds(
-                n=int(bounds["n"]),
-                critical_cycle_count=int(bounds["critical_cycle_count"]),
-                iteration_bound=int(bounds["iteration_bound"]),
-                step_bound=int(bounds["step_bound"]),
-                covers_all_transitions=bool(bounds["covers_all_transitions"]),
-            ),
-            net_size=int(data["net_size"]),
-            n_transitions=int(data["n_transitions"]),
-            frustum=FrustumSummary.from_payload(data["frustum"]),
-            schedule=_schedule_from_payload(data["schedule"]),
-            scp_utilization=(
-                _fraction_from(scp["utilization"])
-                if scp is not None and scp.get("utilization") is not None
-                else None
-            ),
-            scp_frustum=(
-                FrustumSummary.from_payload(scp["frustum"])
-                if scp is not None and scp.get("frustum") is not None
-                else None
-            ),
-            scp_schedule=(
-                _schedule_from_payload(scp["schedule"])
-                if scp is not None and scp.get("schedule") is not None
-                else None
-            ),
-        )
-
-
-@dataclass
-class CompiledLoop:
-    """Every artifact of one compilation.
-
-    ``scp``/``scp_frustum``/``scp_schedule`` are None unless a pipeline
-    depth was requested.
-    """
-
-    translation: TranslationResult
-    pn: SdspPetriNet
-    frustum: CyclicFrustum
-    behavior: BehaviorGraph
-    schedule: PipelinedSchedule
-    bounds: TheoreticalBounds
-    engine: str = "event"
-    include_io: bool = True
-    rate: Optional[Fraction] = None
-    scp: Optional[SdspScpNet] = None
-    scp_frustum: Optional[CyclicFrustum] = None
-    scp_behavior: Optional[BehaviorGraph] = None
-    scp_schedule: Optional[PipelinedSchedule] = None
-    unroll: int = 1
-    achieved_rate: Optional[Fraction] = None
-    dependence_bound: Optional[Fraction] = None
-
-    @property
-    def optimal_rate(self) -> Fraction:
-        """The time-optimal computation rate the ideal model achieves.
-
-        :func:`compile_loop` computes this exactly once (Howard plus
-        the enumeration/Lawler cross-checks) and stores it in
-        :attr:`rate`; the property only falls back to recomputing for
-        hand-assembled instances that never set the field.
-        """
-        if self.rate is None:
-            self.rate = optimal_rate(self.pn)
-        return self.rate
-
-    @property
-    def scp_utilization(self) -> Optional[Fraction]:
-        if self.scp is None or self.scp_frustum is None:
-            return None
-        return pipeline_utilization(self.scp, self.scp_frustum)
-
-    def summary(self) -> CompiledLoopSummary:
-        """The deterministic, serialisable projection of this result —
-        what the compile cache stores and ``repro sweep`` merges."""
-        return CompiledLoopSummary(
-            loop=self.translation.loop.name,
-            engine=self.engine,
-            include_io=self.include_io,
-            pipeline_stages=self.scp.stages if self.scp is not None else None,
-            unroll=self.unroll,
-            achieved_rate=self.achieved_rate,
-            dependence_bound=self.dependence_bound,
-            rate=self.optimal_rate,
-            bounds=self.bounds,
-            net_size=self.pn.size,
-            n_transitions=len(self.pn.net.transition_names),
-            frustum=FrustumSummary.from_frustum(self.frustum),
-            schedule=self.schedule,
-            scp_utilization=self.scp_utilization,
-            scp_frustum=(
-                FrustumSummary.from_frustum(self.scp_frustum)
-                if self.scp_frustum is not None
-                else None
-            ),
-            scp_schedule=self.scp_schedule,
-        )
-
-
-def _select_unroll(graph, bound: Fraction, include_io: bool) -> int:
-    """The smallest unroll factor whose unrolled net is rate-optimal
-    per *base* instruction: ``U * optimal_rate(unroll(g, U)) ==
-    dependence_bound_rate(g)`` (Howard-only analysis per candidate; no
-    simulation happens until the factor is chosen)."""
-    for factor in range(1, MAX_UNROLL + 1):
-        candidate = build_sdsp_pn(
-            unroll_graph(graph, factor), include_io=include_io
-        )
-        if factor * optimal_rate(candidate) == bound:
-            return factor
-    raise AnalysisError(
-        f"no unroll factor up to {MAX_UNROLL} closes the rate gap to "
-        f"the dependence bound {bound}; pass an explicit unroll factor"
-    )
-
-
-def _verify_unrolled_rate(
-    pn: SdspPetriNet,
-    frustum: CyclicFrustum,
-    factor: int,
-    rate: Fraction,
-    target: Optional[Fraction],
-) -> Fraction:
-    """The hard acceptance check of the unrolling path: every *base*
-    instruction's steady-state rate (its copies' frustum firings summed
-    over the frustum length) must equal ``factor * rate`` exactly — and
-    when ``target`` is set (``unroll="auto"``), that value must equal
-    the dependence bound ``γ*`` exactly too.  Any miss is an
-    :class:`~repro.errors.AnalysisError`, never a silent under-achieve.
-    """
-    if frustum.length == 0:
-        raise AnalysisError("detected frustum is empty; no rate to verify")
-    expected = factor * rate
-    totals = base_firing_totals(
-        frustum.firing_counts, pn.net.transition_names
-    )
-    for base, count in sorted(totals.items()):
-        achieved = Fraction(count, frustum.length)
-        if achieved != expected:
-            raise AnalysisError(
-                f"unrolled (x{factor}) frustum under-achieves: base "
-                f"instruction {base!r} runs at {achieved} per cycle, "
-                f"expected exactly {expected}"
-            )
-    if target is not None and expected != target:
-        raise AnalysisError(
-            f"unroll='auto' selected factor {factor} but the achieved "
-            f"per-instruction rate {expected} does not equal the "
-            f"dependence bound {target}"
-        )
-    return expected
 
 
 def compile_loop(
@@ -466,7 +78,7 @@ def compile_loop(
         any violation.
     instrumentation:
         Optional :class:`repro.obs.Instrumentation`.  When given, each
-        compilation phase is timed (``phase.parse`` ... ``phase.verify``
+        compilation stage is timed (``phase.parse`` ... ``phase.verify``
         timers plus :class:`~repro.obs.events.PhaseTimer` events) and
         the behavior-graph simulations stream firing/snapshot/frustum
         events to the attached sinks.  Defaults to a no-op.
@@ -488,99 +100,14 @@ def compile_loop(
         :class:`~fractions.Fraction` equality) — a miss raises
         :class:`~repro.errors.AnalysisError`.
     """
-    obs = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
-    requested = validate_unroll(unroll)
-    with obs.phase("parse"):
-        loop = parse_loop(source)
-    with obs.phase("translate"):
-        translation = translate(loop, scalars)
-    with obs.phase("unroll"):
-        dependence_bound = dependence_bound_rate(
-            translation.graph, include_io=include_io
-        )
-        if requested == "auto":
-            factor = _select_unroll(
-                translation.graph, dependence_bound, include_io=include_io
-            )
-        else:
-            factor = requested
-        graph = (
-            unroll_graph(translation.graph, factor)
-            if factor > 1
-            else translation.graph
-        )
-    with obs.phase("build-sdsp-pn"):
-        pn = build_sdsp_pn(graph, include_io=include_io)
-
-    with obs.phase("detect-frustum"):
-        frustum, behavior = detect_frustum(
-            pn.timed, pn.initial, instrumentation=obs, engine=engine
-        )
-    with obs.phase("derive-schedule"):
-        schedule = derive_schedule(frustum, behavior)
-    # The optimal rate is computed exactly once per compilation (the
-    # Howard/enumeration/Lawler analysis is not free) and stored on the
-    # result; `CompiledLoop.optimal_rate` returns this cached Fraction.
-    with obs.phase("rate"):
-        rate = optimal_rate(pn)
-        achieved = _verify_unrolled_rate(
-            pn,
-            frustum,
-            factor,
-            rate,
-            dependence_bound if requested == "auto" else None,
-        )
-    if verify:
-        with obs.phase("verify"):
-            verify_schedule(
-                pn,
-                schedule,
-                iterations=verify_iterations,
-                expected_rate=rate,
-            ).require()
-
-    result = CompiledLoop(
-        translation=translation,
-        pn=pn,
-        frustum=frustum,
-        behavior=behavior,
-        schedule=schedule,
-        bounds=theoretical_bounds(pn),
-        engine=engine,
+    request = make_request(
+        source,
+        scalars=scalars,
+        pipeline_stages=pipeline_stages,
         include_io=include_io,
-        rate=rate,
-        unroll=factor,
-        achieved_rate=achieved,
-        dependence_bound=dependence_bound,
+        verify=verify,
+        verify_iterations=verify_iterations,
+        engine=engine,
+        unroll=unroll,
     )
-
-    if pipeline_stages is not None:
-        with obs.phase("scp-build"):
-            scp = build_sdsp_scp_pn(pn, pipeline_stages)
-            policy = FifoRunPlacePolicy(
-                scp.net, scp.run_place, scp.priority_order()
-            )
-        with obs.phase("scp-detect-frustum"):
-            scp_frustum, scp_behavior = detect_frustum(
-                scp.timed, scp.initial, policy, instrumentation=obs,
-                engine=engine,
-            )
-        with obs.phase("scp-derive-schedule"):
-            scp_schedule = derive_schedule(
-                scp_frustum, scp_behavior, instructions=scp.sdsp_transitions
-            )
-        if verify:
-            with obs.phase("scp-verify"):
-                verify_schedule(
-                    pn,
-                    scp_schedule,
-                    iterations=verify_iterations,
-                    capacity=1,
-                    latency_of=lambda t: pipeline_stages,
-                ).require()
-        result.scp = scp
-        result.scp_frustum = scp_frustum
-        result.scp_behavior = scp_behavior
-        result.scp_schedule = scp_schedule
-
-    return result
+    return compile_live(request, instrumentation=instrumentation)

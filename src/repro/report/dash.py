@@ -508,6 +508,81 @@ def _sweep_html(sweep_history: Sequence[Mapping[str, Any]]) -> str:
     return "".join(sections)
 
 
+def _stages_html(
+    history: Sequence[Mapping[str, Any]],
+    sweep_history: Sequence[Mapping[str, Any]] = (),
+) -> str:
+    """Per-stage timing attribution from the latest ledger record that
+    carries phase wall clocks, mapped back to the staged compiler's
+    pass names, plus the artifact-cache resolution totals of the
+    latest sweep record that went through the per-stage store."""
+    from ..compiler.stages import STAGES
+
+    stage_of_phase = {
+        stage.phase: stage.name for stage in STAGES.values() if stage.phase
+    }
+    latest: Optional[Mapping[str, Any]] = None
+    for record in history:
+        phases = record.get("timing", {}).get("phase_wall_clock", {})
+        if any(name.startswith("phase.") for name in phases):
+            latest = record
+    sections: List[str] = []
+    if latest is not None:
+        sha = str(latest.get("git_sha", "?"))[:7]
+        phases = latest["timing"]["phase_wall_clock"]
+        rows = []
+        for name in sorted(phases):
+            if not name.startswith("phase."):
+                continue
+            stats = phases[name]
+            if not isinstance(stats, Mapping):
+                continue
+            stage = stage_of_phase.get(name[len("phase."):], "—")
+            total = stats.get("total")
+            rows.append(
+                f'<tr><td class="name">{_esc(stage)}</td>'
+                f"<td>{_esc(name[len('phase.'):])}</td>"
+                f'<td>{stats.get("count", 0)}</td>'
+                f"<td>{float(total):.6f}</td></tr>"
+                if isinstance(total, (int, float))
+                else f'<tr><td class="name">{_esc(stage)}</td>'
+                f"<td>{_esc(name[len('phase.'):])}</td>"
+                f'<td>{stats.get("count", 0)}</td><td>—</td></tr>'
+            )
+        if rows:
+            sections.append(
+                f"<h2>Compiler stages at {_esc(sha)}</h2>"
+                '<p class="note">Wall clock per compiler pass from the '
+                "newest ledger run; the stage column names the pass in "
+                "the staged compiler core (<code>repro.compiler</code>), "
+                "the phase column its instrumentation timer.</p>"
+                "<table><thead><tr><th>stage</th><th>phase</th>"
+                "<th>calls</th><th>total s</th></tr></thead>"
+                f'<tbody>{"".join(rows)}</tbody></table>'
+            )
+    latest_cache: Optional[Mapping[str, Any]] = None
+    latest_cache_sha = "?"
+    for record in sweep_history:
+        stage_cache = (
+            record.get("timing", {}).get("metrics", {}).get("stage_cache")
+        )
+        if isinstance(stage_cache, Mapping):
+            latest_cache = stage_cache
+            latest_cache_sha = str(record.get("git_sha", "?"))[:7]
+    if latest_cache is not None:
+        sections.append(
+            f"<h3>Artifact cache (latest sweep, {_esc(latest_cache_sha)})"
+            "</h3>"
+            "<table><thead><tr><th>hits</th><th>misses</th>"
+            "<th>hydrations</th></tr></thead><tbody><tr>"
+            f'<td>{latest_cache.get("hit", 0)}</td>'
+            f'<td>{latest_cache.get("miss", 0)}</td>'
+            f'<td>{latest_cache.get("hydrate", 0)}</td>'
+            "</tr></tbody></table>"
+        )
+    return "".join(sections)
+
+
 #: Wait-state kinds in waterfall stacking order, with their palette
 #: role and legend label.  Must track
 #: :data:`repro.obs.causality.WAIT_KINDS` plus executing/idle.
@@ -747,5 +822,8 @@ def render_dash(
     sweep_section = _sweep_html(sweep_history)
     if sweep_section:
         parts.append('<div class="card">' + sweep_section + "</div>")
+    stages_section = _stages_html(history, sweep_history)
+    if stages_section:
+        parts.append('<div class="card">' + stages_section + "</div>")
     parts.append("</body></html>")
     return "\n".join(parts)

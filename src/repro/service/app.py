@@ -469,6 +469,16 @@ class CompileService:
             if count:
                 self.registry.counter(f"batch.cache.{outcome}").inc(count)
 
+    def _merge_stage_stats(
+        self, stats: Optional[Mapping[str, int]]
+    ) -> None:
+        """Fold a worker's per-stage artifact-cache counters into the
+        service registry (``stage.cache.*`` — the service itself never
+        performs stage lookups, so nothing is double-counted)."""
+        for outcome, count in (stats or {}).items():
+            if count:
+                self.registry.counter(f"stage.cache.{outcome}").inc(count)
+
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
@@ -627,6 +637,7 @@ class CompileService:
                     pipeline_stages=item.pipeline_stages,
                     include_io=item.include_io,
                     engine=item.engine,
+                    unroll=item.unroll,
                 )
                 payload = await asyncio.to_thread(self.cache.load, key)
             if payload is not None:
@@ -638,6 +649,7 @@ class CompileService:
                 self._merge_cache_stats(
                     entry.get("cache_stats"), skip_lookup=self.cache is not None
                 )
+                self._merge_stage_stats(entry.get("stage_stats"))
                 key = entry.get("key") or key
                 if entry["status"] == "error":
                     raise WireError(
@@ -690,6 +702,7 @@ class CompileService:
                 self._merge_cache_stats(
                     entry.get("cache_stats"), skip_lookup=False
                 )
+                self._merge_stage_stats(entry.get("stage_stats"))
         finally:
             self._release()
         entries.sort(key=lambda entry: entry["index"])  # manifest order
@@ -699,6 +712,7 @@ class CompileService:
             cache_dir=self.config.cache_dir,
         )
         stats = result.cache_stats()
+        stage_stats = result.stage_cache_stats()
         merged = result.merged_payload()
         cache_state.append(
             f"hits={stats['hit']},misses={stats['miss']}"
@@ -708,6 +722,7 @@ class CompileService:
         headers = {
             "X-Cache-Hits": str(stats["hit"]),
             "X-Cache-Misses": str(stats["miss"]),
+            "X-Stage-Hits": str(stage_stats["hit"]),
             "X-Sweep-Errors": str(result.n_errors),
         }
         return Response(

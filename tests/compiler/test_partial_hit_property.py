@@ -1,0 +1,54 @@
+"""Property: a partial-hit staged compile is byte-identical to a cold
+one.
+
+For random loops, warm the artifact store at one unroll factor and
+recompile at another: the second compile reuses the frontend artifacts
+(parse, translate, the rate analysis) from the first request, and the
+payload it produces must equal — byte for byte — what a cold store
+would have produced for the same request.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import ArtifactStore, compile_staged, make_request
+from repro.obs import stable_json
+from tests.integration.test_property_based import loop_sources
+
+COMMON = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    source=loop_sources(),
+    warm_unroll=st.integers(1, 3),
+    target_unroll=st.integers(1, 3),
+)
+@settings(**COMMON)
+def test_partial_hit_equals_cold(tmp_path_factory, source, warm_unroll,
+                                 target_unroll):
+    base = tmp_path_factory.mktemp("stores")
+    cold_store = ArtifactStore(base / "cold")
+    warm_store = ArtifactStore(base / "warm")
+
+    # warm the store with a different (or identical) unroll factor
+    compile_staged(
+        make_request(source, include_io=False, unroll=warm_unroll),
+        warm_store,
+    )
+
+    request = make_request(source, include_io=False, unroll=target_unroll)
+    cold_payload, _ = compile_staged(request, cold_store)
+    warm_payload, outcomes = compile_staged(request, warm_store)
+
+    assert stable_json(warm_payload) == stable_json(cold_payload)
+    # the frontend is unroll-independent, so the warm run never
+    # recomputed it (hit, or hydrated when live objects were needed)
+    assert outcomes["parse"] in ("hit", "hydrated")
+    assert outcomes["translate"] in ("hit", "hydrated")
+    assert outcomes["rate_analysis"] == "hit"

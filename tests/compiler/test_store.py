@@ -1,0 +1,89 @@
+"""The per-stage artifact store: verified reads, corrupt healing,
+counters, and the request-key discipline."""
+
+from __future__ import annotations
+
+import json
+
+from repro.compiler import (
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    stage_store_dir,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def registry():
+    reg = MetricsRegistry()
+    reg.enable()
+    return reg
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("parse", "k" * 64, "f" * 64, {"loop": "L1"})
+        entry = store.load("parse", "k" * 64)
+        assert entry is not None
+        assert entry["fingerprint"] == "f" * 64
+        assert entry["data"] == {"loop": "L1"}
+        assert ("parse", "k" * 64) in store
+        assert len(store) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load("parse", "absent" * 10) is None
+
+    def test_entries_partition_by_stage(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("parse", "k" * 64, "f" * 64, {"a": 1})
+        assert store.load("translate", "k" * 64) is None
+        assert (tmp_path / "parse" / ("k" * 64 + ".json")).is_file()
+
+    def test_stage_store_dir_nests_under_cache_dir(self, tmp_path):
+        assert stage_store_dir(tmp_path) == tmp_path / "stages"
+
+
+class TestCorruptHealing:
+    def test_truncated_entry_is_a_counted_corrupt_miss(self, tmp_path):
+        reg = registry()
+        store = ArtifactStore(tmp_path, registry=reg)
+        store.store("parse", "k" * 64, "f" * 64, {"a": 1})
+        path = store.path_for("parse", "k" * 64)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.load("parse", "k" * 64) is None
+        assert reg.counter("stage.cache.corrupt").value == 1
+        # the corrupt file was removed, so the entry can be re-stored
+        assert not path.exists()
+
+    def test_tampered_data_is_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("parse", "k" * 64, "f" * 64, {"a": 1})
+        path = store.path_for("parse", "k" * 64)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["data"]["a"] = 2  # bytes no longer match data_sha256
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.load("parse", "k" * 64) is None
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("parse", "k" * 64, "f" * 64, {"a": 1})
+        path = store.path_for("parse", "k" * 64)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        assert entry["store_schema"] == STORE_SCHEMA_VERSION
+        entry["store_schema"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.load("parse", "k" * 64) is None
+
+
+class TestCounters:
+    def test_hit_miss_store_counters(self, tmp_path):
+        reg = registry()
+        store = ArtifactStore(tmp_path, registry=reg)
+        assert store.load("parse", "k" * 64) is None
+        store.store("parse", "k" * 64, "f" * 64, {"a": 1})
+        assert store.load("parse", "k" * 64) is not None
+        assert reg.counter("stage.cache.miss").value == 1
+        assert reg.counter("stage.cache.store").value == 1
+        assert reg.counter("stage.cache.hit").value == 1
+        assert reg.counter("stage.cache.hit.parse").value == 1
